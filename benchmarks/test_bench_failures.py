@@ -1,0 +1,67 @@
+"""Failure-recovery bench (extension): backbone massacre under DLM.
+
+Not a paper artifact -- a robustness extension quantifying how fast DLM
+rebuilds the super-layer after losing most of it at once, versus the
+preconfigured baseline which can only wait for over-threshold arrivals.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.preconfigured import PreconfiguredPolicy
+from repro.churn.failures import FailureInjector
+from repro.experiments.comparison_run import matched_threshold
+from repro.experiments.runner import run_experiment
+from repro.metrics.summary import summarize
+from repro.util.tables import render_table
+
+from .conftest import emit
+
+FAIL_AT = 400.0
+FRACTION = 0.8
+
+
+def _drill(cfg, policy_factory=None):
+    kwargs = {"run": False}
+    if policy_factory is not None:
+        kwargs["policy_factory"] = policy_factory
+    result = run_experiment(cfg, **kwargs)
+    injector = FailureInjector(result.driver)
+    injector.schedule_mass_departure(FAIL_AT, FRACTION, layer="super")
+    result.ctx.sim.run(until=cfg.horizon)
+    return result
+
+
+def _recovery_metrics(result, cfg):
+    ratio = result.series["ratio"]
+    before = summarize(ratio, FAIL_AT - 150.0, FAIL_AT).mean
+    shock = summarize(ratio, FAIL_AT, FAIL_AT + 50.0)
+    tail = summarize(ratio, cfg.horizon - 200.0, cfg.horizon).mean
+    return before, shock.maximum, tail
+
+
+def test_bench_failure_recovery(benchmark, bench_cfg):
+    cfg = bench_cfg.with_(horizon=1000.0)
+    threshold = matched_threshold(cfg.eta)
+
+    def run():
+        dlm = _drill(cfg)
+        pre = _drill(cfg, policy_factory=lambda c: PreconfiguredPolicy(threshold))
+        return _recovery_metrics(dlm, cfg), _recovery_metrics(pre, cfg)
+
+    (d_before, d_peak, d_tail), (p_before, p_peak, p_tail) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        f"Failure drill -- {FRACTION:.0%} of the super-layer removed at t={FAIL_AT:.0f}",
+        render_table(
+            ["policy", "ratio before", "peak ratio in shock", "tail ratio"],
+            [
+                ("DLM", d_before, d_peak, d_tail),
+                ("preconfigured", p_before, p_peak, p_tail),
+            ],
+        ),
+    )
+    # DLM returns to the neighborhood of eta after the massacre.
+    assert abs(d_tail - cfg.eta) / cfg.eta < 0.5
+    # DLM's tail lands at least as close to target as the baseline's.
+    assert abs(d_tail - cfg.eta) <= abs(p_tail - cfg.eta) + 0.1 * cfg.eta

@@ -1,0 +1,28 @@
+"""Benchmark/reproduction of Figure 1 (threshold pathologies).
+
+Paper shape (§3): with a fixed capacity threshold, strong arrival mixes
+flood the super-layer (ratio collapses, Figure 1b) and weak mixes starve
+it (ratio explodes, Figure 1c); DLM holds the target under all three.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import run_figure1
+
+from .conftest import emit
+
+
+def test_bench_figure1(benchmark, bench_cfg):
+    cfg = bench_cfg.with_(horizon=600.0)  # three runs x two policies
+    result = benchmark.pedantic(run_figure1, args=(cfg,), rounds=1, iterations=1)
+    shape = result.check_shape()
+    emit(
+        "Figure 1 -- ratio pathologies of pre-configured thresholds",
+        result.render() + f"\nshape: {shape}",
+    )
+    # (b): high-capacity arrivals shrink the threshold policy's ratio.
+    assert shape["pre_b_over_a"] < 0.5
+    # (c): low-capacity arrivals inflate it.
+    assert shape["pre_c_over_a"] > 2.0
+    # DLM's ratio moves far less across the same three mixes.
+    assert shape["dlm_spread"] < shape["pre_c_over_a"] / shape["pre_b_over_a"]

@@ -1,0 +1,100 @@
+"""§6 information-exchange overhead bench.
+
+The paper argues DLM's two message pairs are "negligible compared to the
+search traffic costs" because (1) they are few-byte messages between
+direct neighbors, (2) they are sent only on connection creation, and
+(3) they can be piggybacked.  This bench measures all three: the DLM
+byte fraction at increasing query loads, and the effect of piggybacking.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import SearchConfig
+from repro.experiments.runner import run_experiment
+from repro.util.tables import render_table
+
+from .conftest import emit
+
+
+def test_bench_dlm_traffic_overhead(benchmark, bench_cfg):
+    rates = (2.0, 10.0, 40.0)
+
+    def run():
+        rows = []
+        for rate in rates:
+            cfg = bench_cfg.with_(
+                horizon=400.0,
+                search=SearchConfig(query_rate=rate),
+            )
+            result = run_experiment(cfg)
+            ledger = result.ctx.messages
+            rows.append(
+                (
+                    rate,
+                    ledger.dlm_messages,
+                    ledger.search_messages,
+                    100.0 * ledger.dlm_overhead_fraction(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Section 6 -- DLM control traffic vs search traffic",
+        render_table(
+            ["queries/unit", "DLM messages", "search messages", "DLM bytes (%)"],
+            rows,
+        ),
+    )
+    fractions = [r[3] for r in rows]
+    # DLM traffic is independent of query load, so its share shrinks as
+    # the search plane works harder...
+    assert fractions == sorted(fractions, reverse=True)
+    # ...and at a realistic query load it is a small share of all bytes.
+    assert fractions[-1] < 5.0
+
+
+def test_bench_piggyback_savings(benchmark, bench_cfg):
+    """§6: 'these two pairs of messages may be piggybacked in other
+    messages available, thus reducing the traffic overhead even more.'"""
+
+    def run():
+        cfg = bench_cfg.with_(horizon=300.0)
+        plain = run_experiment(cfg)
+        # Same run with piggybacking enabled on the ledger.
+        from repro.churn.lifecycle import ChurnDriver  # noqa: F401 (doc aid)
+        from repro.context import build_context
+        from repro.core.dlm import DLMPolicy
+        from repro.experiments.runner import build_distributions
+        from repro.metrics.layerstats import LayerStatsSampler
+        from repro.sim.processes import PeriodicProcess
+
+        ctx = build_context(seed=cfg.seed, m=cfg.m, k_s=cfg.k_s, piggyback=True)
+        policy = DLMPolicy(cfg.dlm_config())
+        policy.bind(ctx)
+        PeriodicProcess(
+            ctx.sim, cfg.maintenance_interval,
+            lambda s, n: ctx.maintenance.sweep(), kind="maint",
+        )
+        lifetimes, capacities = build_distributions(cfg)
+        from repro.churn.lifecycle import ChurnDriver as _Driver
+
+        driver = _Driver(ctx, policy, lifetimes, capacities)
+        driver.populate(cfg.n, warmup=cfg.warmup)
+        ctx.sim.run(until=cfg.horizon)
+        return plain.ctx.messages, ctx.messages
+
+    plain, piggy = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Section 6 -- piggybacking the DLM message pairs",
+        render_table(
+            ["mode", "DLM messages", "DLM bytes"],
+            [
+                ("standalone", plain.dlm_messages, plain.dlm_bytes),
+                ("piggybacked", piggy.dlm_messages, piggy.dlm_bytes),
+            ],
+        ),
+    )
+    # Same message count (the protocol is unchanged), far fewer bytes.
+    assert piggy.dlm_messages == plain.dlm_messages
+    assert piggy.dlm_bytes < 0.5 * plain.dlm_bytes

@@ -1,0 +1,23 @@
+"""Scaling bench: simulator throughput vs population size.
+
+Confirms the implementation scales near-linearly in peers x time (the
+adjacency is O(1) per operation and the per-peer evaluation rate is
+constant), which is what makes the paper's n = 50 000 runs feasible in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+@pytest.mark.parametrize("n", [500, 1000, 2000])
+def test_bench_scaling_population(benchmark, bench_cfg, n):
+    cfg = bench_cfg.with_(n=n, horizon=300.0, warmup=50.0)
+    result = benchmark.pedantic(
+        run_experiment, args=(cfg,), rounds=1, iterations=1
+    )
+    assert result.overlay.n == n
+    result.overlay.check_invariants()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Failure drill: massacre the backbone and watch DLM rebuild it.
+
+Correlated failures are the stress case the paper's churn model does not
+cover: an ISP outage or version ban can take out most of the super-layer
+at once, orphaning thousands of leaves.  This drill removes 80% of all
+super-peers at t=400 and tracks the layer-size ratio and backbone
+connectivity through the recovery.
+
+Run:  python examples/failure_drill.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import backbone_connectivity
+from repro.churn.failures import FailureInjector
+from repro.experiments import bench_config, run_experiment
+from repro.util.ascii_plot import ascii_plot
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    cfg = bench_config().with_(n=1500, horizon=900.0, warmup=60.0, seed=37)
+    print("Wiring a 1500-peer DLM network with a failure injector...")
+    result = run_experiment(cfg, run=False)
+    injector = FailureInjector(result.driver)
+    injector.schedule_mass_departure(400.0, 0.8, layer="super")
+
+    checkpoints = []
+    sim = result.ctx.sim
+    for t in (395.0, 401.0, 450.0, 550.0, 700.0, 900.0):
+        sim.run(until=t)
+        checkpoints.append(
+            (
+                t,
+                result.overlay.n_super,
+                result.overlay.layer_size_ratio(),
+                backbone_connectivity(result.overlay),
+            )
+        )
+
+    record = injector.records[0]
+    print(
+        f"\nAt t={record.time:.0f} the drill removed {record.supers_lost} "
+        f"super-peers ({100 * record.requested_fraction:.0f}% of the layer)."
+    )
+    print()
+    print(
+        render_table(
+            ["t", "super-peers", "layer ratio", "backbone connectivity"],
+            checkpoints,
+            title="Recovery checkpoints (target eta=40)",
+        )
+    )
+
+    ratio = result.series["ratio"]
+    keep = ratio.times >= 120.0
+    print()
+    print(
+        ascii_plot(
+            {"ratio": (ratio.times[keep], ratio.values[keep])},
+            title="Layer size ratio through the t=400 backbone massacre",
+        )
+    )
+    print(
+        "\nThe instant the backbone dies, the orphan-reconnect storm "
+        "floods the surviving super-peers (l_nn >> k_l), every "
+        "evaluation reads a hugely positive µ, and promotion thresholds "
+        "swing wide open: the super-layer is rebuilt within time units, "
+        "briefly overshooting (the ratio dips below target) before the "
+        "same feedback demotes the surplus and settles back near eta."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""File-sharing search: query quality over a DLM-managed overlay.
+
+The paper's §3 argument for super-peer systems is search efficiency:
+only super-peers relay queries, each answering for its leaves out of an
+index.  This example builds a KaZaA-style file-sharing workload -- a
+Zipf catalog, 10 shared files per peer, popularity-weighted queries --
+over a churning DLM network, then contrasts backbone flooding with
+k-walker random walks (extension E1) on the *same* overlay snapshot.
+
+Run:  python examples/file_sharing_search.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import SearchConfig, bench_config, run_experiment
+from repro.search import QueryStats, RandomWalkRouter
+from repro.search.flooding import FloodRouter
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    cfg = bench_config().with_(
+        n=1500,
+        horizon=400.0,
+        warmup=50.0,
+        seed=23,
+        search=SearchConfig(
+            n_objects=8000, zipf_s=0.8, files_per_peer=10, query_rate=8.0, ttl=7
+        ),
+    )
+    print("Simulating a 1500-peer file-sharing network with live queries...")
+    result = run_experiment(cfg)
+
+    live = result.query_stats
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ("queries issued during the run", live.issued),
+                ("success rate", live.success_rate),
+                ("mean messages per query", live.mean_messages_per_query),
+                ("mean super-peers visited", live.mean_supers_visited),
+                ("mean hits per query", live.mean_hits_per_query),
+            ],
+            title="Live flooding workload (during churn)",
+        )
+    )
+
+    # Post-hoc router shoot-out on the settled overlay.
+    overlay, directory = result.overlay, result.directory
+    rng = result.ctx.sim.rng.get("example-queries")
+    catalog = result.workload.catalog
+    flood = FloodRouter(overlay, directory, ttl=7)
+    walkers = RandomWalkRouter(
+        overlay, directory, result.ctx.sim.rng.get("example-walk"),
+        walkers=16, max_steps=48,
+    )
+    flood_stats, walk_stats = QueryStats(), QueryStats()
+    for src in overlay.leaf_ids.sample(rng, 400):
+        obj = catalog.query_target(rng)
+        flood_stats.record(flood.query(src, obj))
+        walk_stats.record(walkers.query(src, obj))
+
+    f, w = flood_stats.snapshot, walk_stats.snapshot
+    print()
+    print(
+        render_table(
+            ["router", "success rate", "msgs/query"],
+            [
+                ("flooding, TTL=7", f.success_rate, f.mean_messages_per_query),
+                ("16 walkers x 48 steps", w.success_rate, w.mean_messages_per_query),
+            ],
+            title="Router comparison on the settled overlay (400 queries)",
+        )
+    )
+    ledger = result.ctx.messages
+    print(
+        f"\nDLM control traffic was {100 * ledger.dlm_overhead_fraction():.2f}% "
+        "of all bytes -- the paper's 'negligible overhead' claim (section 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

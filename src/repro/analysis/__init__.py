@@ -1,0 +1,27 @@
+"""Offline analysis: graph statistics, equation validation, convergence."""
+
+from .concentration import ConcentrationReport, gini, measure_lnn_concentration
+from .convergence import ConvergenceReport, analyze_ratio_convergence
+from .graphstats import OverlayStats, analyze_overlay, backbone_connectivity
+from .search_coverage import CoverageReport, measure_coverage
+from .validation import (
+    EquationCheck,
+    validate_equation_a,
+    validate_equation_b,
+)
+
+__all__ = [
+    "ConcentrationReport",
+    "gini",
+    "measure_lnn_concentration",
+    "ConvergenceReport",
+    "analyze_ratio_convergence",
+    "OverlayStats",
+    "analyze_overlay",
+    "backbone_connectivity",
+    "CoverageReport",
+    "measure_coverage",
+    "EquationCheck",
+    "validate_equation_a",
+    "validate_equation_b",
+]

@@ -1,0 +1,63 @@
+"""Ratio-convergence analysis.
+
+Quantifies how fast and how tightly a layer policy drives the layer-size
+ratio to its target -- the A1/A2 ablations are judged on these numbers
+(disable the scaled comparison or the threshold adaptation and watch the
+convergence degrade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.summary import oscillation_amplitude, relative_error, summarize, time_to_converge
+from ..metrics.timeseries import TimeSeries
+
+__all__ = ["ConvergenceReport", "analyze_ratio_convergence"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceReport:
+    """How a ratio series behaved against its target."""
+
+    target: float
+    settled_at: Optional[float]
+    tail_mean: float
+    tail_error: float
+    tail_swing: float
+
+    @property
+    def converged(self) -> bool:
+        """Whether the series ever settled within tolerance."""
+        return self.settled_at is not None
+
+
+def analyze_ratio_convergence(
+    ratio: TimeSeries,
+    target: float,
+    *,
+    tolerance: float = 0.25,
+    tail_fraction: float = 0.25,
+) -> ConvergenceReport:
+    """Summarize a ratio series against ``target``.
+
+    ``settled_at`` is the first time after which every sample stays
+    within ``tolerance`` (relative) of the target; the tail statistics
+    are over the last ``tail_fraction`` of samples.
+    """
+    if target <= 0:
+        raise ValueError("target must be positive")
+    if not len(ratio):
+        raise ValueError("ratio series is empty")
+    times = ratio.times
+    t_end = float(times[-1])
+    t_tail = float(times[int(len(times) * (1 - tail_fraction))])
+    tail = summarize(ratio, t_tail, t_end)
+    return ConvergenceReport(
+        target=target,
+        settled_at=time_to_converge(ratio, target, tolerance),
+        tail_mean=tail.mean,
+        tail_error=relative_error(tail.mean, target),
+        tail_swing=oscillation_amplitude(ratio, t_tail, t_end),
+    )

@@ -1,0 +1,105 @@
+"""Topology analysis over overlay snapshots (networkx-based).
+
+Degree distributions, backbone connectivity, and reachability -- the
+structural health indicators behind the paper's §3 argument that too few
+super-peers centralizes the network and too many degrades it toward pure
+flooding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import networkx as nx
+import numpy as np
+
+from ..overlay.graph_export import backbone_graph, to_networkx
+from ..overlay.topology import Overlay
+
+__all__ = ["OverlayStats", "analyze_overlay", "backbone_connectivity"]
+
+
+@dataclass(frozen=True, slots=True)
+class OverlayStats:
+    """Structural descriptors of one overlay snapshot."""
+
+    n: int
+    n_super: int
+    n_leaf: int
+    ratio: float
+    mean_super_degree: float
+    mean_leaf_degree: float
+    mean_backbone_degree: float
+    backbone_components: int
+    largest_backbone_fraction: float
+    isolated_leaves: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """All descriptors as a plain dict (for tabulation)."""
+        return {
+            "n": self.n,
+            "n_super": self.n_super,
+            "n_leaf": self.n_leaf,
+            "ratio": self.ratio,
+            "mean_super_degree": self.mean_super_degree,
+            "mean_leaf_degree": self.mean_leaf_degree,
+            "mean_backbone_degree": self.mean_backbone_degree,
+            "backbone_components": self.backbone_components,
+            "largest_backbone_fraction": self.largest_backbone_fraction,
+            "isolated_leaves": self.isolated_leaves,
+        }
+
+
+def analyze_overlay(overlay: Overlay) -> OverlayStats:
+    """Compute :class:`OverlayStats` for the current overlay state."""
+    sup_deg = []
+    leaf_deg = []
+    bb_deg = []
+    isolated = 0
+    for peer in overlay.peers():
+        if peer.is_super:
+            sup_deg.append(peer.degree)
+            bb_deg.append(len(peer.super_neighbors))
+        else:
+            leaf_deg.append(peer.degree)
+            if peer.degree == 0:
+                isolated += 1
+    bb = backbone_graph(overlay)
+    if bb.number_of_nodes() > 0:
+        comps = list(nx.connected_components(bb))
+        n_comp = len(comps)
+        largest = max(len(c) for c in comps) / bb.number_of_nodes()
+    else:
+        n_comp = 0
+        largest = 0.0
+    return OverlayStats(
+        n=overlay.n,
+        n_super=overlay.n_super,
+        n_leaf=overlay.n_leaf,
+        ratio=overlay.layer_size_ratio(),
+        mean_super_degree=float(np.mean(sup_deg)) if sup_deg else 0.0,
+        mean_leaf_degree=float(np.mean(leaf_deg)) if leaf_deg else 0.0,
+        mean_backbone_degree=float(np.mean(bb_deg)) if bb_deg else 0.0,
+        backbone_components=n_comp,
+        largest_backbone_fraction=largest,
+        isolated_leaves=isolated,
+    )
+
+
+def backbone_connectivity(overlay: Overlay) -> float:
+    """Fraction of super-peers in the largest backbone component.
+
+    1.0 means every query can, in principle, reach every index; values
+    below ~0.95 indicate a partitioned search plane.
+    """
+    bb = backbone_graph(overlay)
+    if bb.number_of_nodes() == 0:
+        return 0.0
+    largest = max(len(c) for c in nx.connected_components(bb))
+    return largest / bb.number_of_nodes()
+
+
+def full_overlay_graph(overlay: Overlay, now: float = 0.0) -> nx.Graph:
+    """Snapshot including leaves (attribute-rich; see graph_export)."""
+    return to_networkx(overlay, now=now)

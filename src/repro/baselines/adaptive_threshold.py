@@ -1,0 +1,102 @@
+"""Adaptive-threshold baseline: a centrally tuned join threshold.
+
+A middle ground between the static preconfigured policy and DLM: a
+(logically centralized) controller observes the *global* layer-size
+ratio every ``interval`` units and nudges the join threshold
+multiplicatively -- ratio above target means the super-layer is too
+small, so the bar is lowered; below target, raised.  Existing peers are
+never promoted or demoted, so the controller can only steer through
+arrivals.
+
+This isolates DLM's claim to *distribution*: the adaptive threshold has
+strictly more information (the exact global ratio) yet still lags every
+workload shift by the population turnover time, and it does nothing for
+layer quality (age plays no role).  Used by the tournament example and
+as a registered extension baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+from ..overlay.roles import Role
+from ..sim.processes import PeriodicProcess
+
+__all__ = ["AdaptiveThresholdPolicy"]
+
+
+class AdaptiveThresholdPolicy(LayerPolicy):
+    """Join threshold retuned from the observed global ratio."""
+
+    name = "adaptive-threshold"
+
+    def __init__(
+        self,
+        eta: float = 40.0,
+        *,
+        initial_threshold: float = 50.0,
+        interval: float = 20.0,
+        gain: float = 0.5,
+        min_threshold: float = 1e-3,
+        max_threshold: float = 1e6,
+    ) -> None:
+        super().__init__()
+        if eta <= 0:
+            raise ValueError("eta must be positive")
+        if initial_threshold <= 0:
+            raise ValueError("initial_threshold must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        if not 0 < min_threshold < max_threshold:
+            raise ValueError("need 0 < min_threshold < max_threshold")
+        self.eta = eta
+        self.threshold = initial_threshold
+        self.interval = interval
+        self.gain = gain
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self._sweep: Optional[PeriodicProcess] = None
+        self.adjustments = 0
+
+    def _install(self, ctx: SystemContext) -> None:
+        self._sweep = PeriodicProcess(
+            ctx.sim, self.interval, self._retune, kind="threshold_retune"
+        )
+
+    def role_for_new_peer(
+        self, capacity: float, *, eligible: bool = True
+    ) -> Optional[Role]:
+        """Layer for a joining peer (see :class:`LayerPolicy`)."""
+        if self.ctx.overlay.n_super == 0:
+            return None  # cold start
+        if not eligible:
+            return Role.LEAF
+        return Role.SUPER if capacity >= self.threshold else Role.LEAF
+
+    def _retune(self, sim, now: float) -> None:
+        """Multiplicative controller: threshold *= (eta_now/eta_target)^-g.
+
+        Ratio above target => too few super-peers => lower the bar, and
+        vice versa.  The exponent form keeps updates scale-free.
+        """
+        ov = self.ctx.overlay
+        if ov.n_super == 0 or ov.n_leaf == 0:
+            return
+        ratio = ov.layer_size_ratio()
+        error = math.log(ratio / self.eta)
+        factor = math.exp(-self.gain * error)
+        self.threshold = min(
+            max(self.threshold * factor, self.min_threshold), self.max_threshold
+        )
+        self.adjustments += 1
+
+    def stop(self) -> None:
+        """Cancel the retuning sweep."""
+        if self._sweep is not None:
+            self._sweep.stop()
+            self._sweep = None

@@ -1,0 +1,92 @@
+"""Global-knowledge oracle baseline (upper bound).
+
+The paper stresses that "no global knowledge exist[s] in distributed P2P
+systems" -- DLM's whole difficulty.  The oracle cheats: with a full view
+of every peer's capacity and age it periodically rebalances the layers to
+the *exact* target sizes, electing the jointly best peers.  It bounds
+from above what any distributed layer manager (DLM included) could
+achieve, which is how the E2 extension bench contextualizes DLM's layer
+quality.
+
+Peers are ranked by the product of their capacity and age percentile
+ranks -- a scale-free way to require strength on *both* disjoint metrics,
+mirroring DLM's conjunctive decision rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+from ..core.transitions import TransitionExecutor
+from ..sim.processes import PeriodicProcess
+
+__all__ = ["OraclePolicy"]
+
+
+class OraclePolicy(LayerPolicy):
+    """Periodic global rebalance to the exact Equation-b layer sizes."""
+
+    name = "oracle"
+
+    def __init__(self, eta: float = 40.0, interval: float = 10.0) -> None:
+        super().__init__()
+        if eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.eta = eta
+        self.interval = interval
+        self._executor: Optional[TransitionExecutor] = None
+        self._sweep: Optional[PeriodicProcess] = None
+        self.rebalances = 0
+
+    def _install(self, ctx: SystemContext) -> None:
+        self._executor = TransitionExecutor(ctx)
+        self._sweep = PeriodicProcess(
+            ctx.sim, self.interval, self._rebalance, kind="oracle_rebalance"
+        )
+
+    def _rebalance(self, sim, now: float) -> None:
+        ctx = self.ctx
+        n = ctx.overlay.n
+        if n < 2:
+            return
+        target_supers = max(1, round(n / (1.0 + self.eta)))
+        peers = list(ctx.overlay.peers())
+        caps = np.array([p.capacity for p in peers])
+        ages = np.array([p.age(now) for p in peers])
+        # Percentile ranks on each metric, combined multiplicatively.
+        cap_rank = caps.argsort().argsort() / max(1, n - 1)
+        age_rank = ages.argsort().argsort() / max(1, n - 1)
+        eligible_mask = np.array([p.eligible for p in peers])
+        score = cap_rank * age_rank
+        score[~eligible_mask] = -1.0  # §2 requirements bar election
+        elite_idx = np.argsort(score)[::-1][:target_supers]
+        elite = {
+            peers[int(i)].pid for i in elite_idx if score[int(i)] >= 0
+        }
+        assert self._executor is not None
+        # Demote first so the super-layer never overshoots downward repair.
+        for p in peers:
+            if p.is_super and p.pid not in elite:
+                self._executor.demote(p.pid)
+        for pid in elite:
+            peer = ctx.overlay.get(pid)
+            if peer is not None and peer.is_leaf:
+                self._executor.promote(pid)
+        self.rebalances += 1
+
+    def stop(self) -> None:
+        """Cancel the rebalance sweep."""
+        if self._sweep is not None:
+            self._sweep.stop()
+            self._sweep = None
+
+    @staticmethod
+    def expected_supers(n: int, eta: float) -> int:
+        """Equation-b target the oracle drives toward."""
+        return max(1, round(n / (1.0 + eta)))

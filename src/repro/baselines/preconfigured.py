@@ -1,0 +1,51 @@
+"""The pre-configured threshold baseline (what the paper compares against).
+
+"Some layer management mechanisms use pre-configured values as the
+thresholds to select super-peers.  For example, the Ultra-peer Proposal
+in Gnutella 0.6 recommends at least 15KB/s downstream and 10KB/s upstream
+bandwidth." (§3).  The paper's running example uses a 50 KB/s threshold,
+which is our default.
+
+A peer's layer is decided once, at join time, by comparing its capacity
+to the fixed threshold -- no adaptation ever happens afterwards, which is
+precisely why the layer-size ratio tracks the arrival mix (Figure 1) and
+oscillates in the Figure-7 workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+from ..overlay.roles import Role
+
+__all__ = ["PreconfiguredPolicy", "DEFAULT_THRESHOLD"]
+
+#: The paper's Figure-1 example threshold (KB/s).
+DEFAULT_THRESHOLD = 50.0
+
+
+class PreconfiguredPolicy(LayerPolicy):
+    """Fixed capacity threshold, decided at join, never revisited."""
+
+    name = "preconfigured"
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD) -> None:
+        super().__init__()
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+
+    def _install(self, ctx: SystemContext) -> None:
+        pass  # no listeners: the policy only acts at join time
+
+    def role_for_new_peer(
+        self, capacity: float, *, eligible: bool = True
+    ) -> Optional[Role]:
+        """Layer for a joining peer (see :class:`LayerPolicy`)."""
+        if self.ctx.overlay.n_super == 0:
+            return None  # cold start: seed the super-layer
+        if not eligible:
+            return Role.LEAF
+        return Role.SUPER if capacity >= self.threshold else Role.LEAF

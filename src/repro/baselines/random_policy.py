@@ -1,0 +1,51 @@
+"""Random election baseline.
+
+Joins a peer into the super-layer with probability ``1 / (1 + η)``
+(Equation b), independent of its capacity or expected lifetime.  In
+expectation this holds the layer-size ratio at η -- so it isolates DLM's
+*second* goal (electing strong, long-lived peers) from its first (ratio
+maintenance): random election matches DLM on the ratio but not on layer
+quality, making it the natural control in the quality benches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+from ..overlay.roles import Role
+
+__all__ = ["RandomElectionPolicy"]
+
+
+class RandomElectionPolicy(LayerPolicy):
+    """Capacity-blind Bernoulli election at join time."""
+
+    name = "random"
+
+    def __init__(self, eta: float = 40.0) -> None:
+        super().__init__()
+        if eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        self.eta = eta
+        self._rng: Optional[np.random.Generator] = None
+
+    def _install(self, ctx: SystemContext) -> None:
+        self._rng = ctx.sim.rng.get("random-policy")
+
+    def role_for_new_peer(
+        self, capacity: float, *, eligible: bool = True
+    ) -> Optional[Role]:
+        """Layer for a joining peer (see :class:`LayerPolicy`)."""
+        if self.ctx.overlay.n_super == 0:
+            return None  # cold start
+        assert self._rng is not None
+        # The election draw happens regardless of eligibility so the
+        # stream stays aligned across eligibility configurations.
+        elected = self._rng.random() < 1.0 / (1.0 + self.eta)
+        if not eligible:
+            return Role.LEAF
+        return Role.SUPER if elected else Role.LEAF

@@ -1,0 +1,25 @@
+"""Static (never-adjust) baseline.
+
+Joins every peer as a leaf (cold-start seeds excepted) and never promotes
+or demotes anyone.  As the seed super-peers die the super-layer decays
+toward its cold-start floor and the leaf-layer's connectivity collapses
+with it -- the degenerate end of the paper's "too few super-peers is
+basically a centralized system" argument (§3, Figure 1c).  Useful as a
+negative control in the convergence analyses.
+"""
+
+from __future__ import annotations
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+
+__all__ = ["StaticPolicy"]
+
+
+class StaticPolicy(LayerPolicy):
+    """No layer management at all."""
+
+    name = "static"
+
+    def _install(self, ctx: SystemContext) -> None:
+        pass  # deliberately inert

@@ -1,0 +1,58 @@
+"""Churn substrate: distributions, arrivals, scenarios, and the driver."""
+
+from .arrivals import poisson_arrival_times, warmup_join_times
+from .failures import MASS_DEPARTURE, FailureInjector, FailureRecord
+from .distributions import (
+    BandwidthMixture,
+    ConstantDistribution,
+    ExponentialDistribution,
+    LogNormalDistribution,
+    ParetoDistribution,
+    ScalableDistribution,
+    UniformDistribution,
+    WeibullDistribution,
+    default_capacity_distribution,
+    default_lifetime_distribution,
+)
+from .lifecycle import ChurnDriver
+from .traces import ChurnTrace, TraceDriver, TraceRecord, synthesize_replacement_trace
+from .multimetric import CompositeCapacityDistribution, default_multimetric_capacity
+from .scenarios import (
+    Scenario,
+    Shift,
+    figure45_scenario,
+    periodic_capacity_scenario,
+    periodic_lifetime_scenario,
+    stable_scenario,
+)
+
+__all__ = [
+    "poisson_arrival_times",
+    "MASS_DEPARTURE",
+    "FailureInjector",
+    "FailureRecord",
+    "warmup_join_times",
+    "BandwidthMixture",
+    "ConstantDistribution",
+    "ExponentialDistribution",
+    "LogNormalDistribution",
+    "ParetoDistribution",
+    "ScalableDistribution",
+    "UniformDistribution",
+    "WeibullDistribution",
+    "default_capacity_distribution",
+    "default_lifetime_distribution",
+    "ChurnDriver",
+    "ChurnTrace",
+    "TraceDriver",
+    "TraceRecord",
+    "synthesize_replacement_trace",
+    "CompositeCapacityDistribution",
+    "default_multimetric_capacity",
+    "Scenario",
+    "Shift",
+    "figure45_scenario",
+    "periodic_capacity_scenario",
+    "periodic_lifetime_scenario",
+    "stable_scenario",
+]

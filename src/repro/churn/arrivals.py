@@ -1,0 +1,61 @@
+"""Arrival-time generators.
+
+The paper's population model (§5): "the simulation starts cold ... the
+size of the network increases with new peers joining until [it] reaches
+the designated size.  Then with time going, whenever a peer dies, a new
+peer is created and joins the network, thereby the network size does not
+change."  Warm-up joins are spread over an interval so ages are staggered
+rather than all zero; the death-replacement coupling lives in
+:class:`~repro.churn.lifecycle.ChurnDriver`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["warmup_join_times", "poisson_arrival_times"]
+
+
+def warmup_join_times(
+    n: int, warmup: float, rng: np.random.Generator, *, start: float = 0.0
+) -> List[float]:
+    """``n`` join times uniform over ``[start, start + warmup]``, sorted.
+
+    ``warmup = 0`` degenerates to all-at-``start`` (useful in unit tests).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if warmup == 0:
+        return [start] * n
+    times = start + rng.uniform(0.0, warmup, size=n)
+    times.sort()
+    return [float(t) for t in times]
+
+
+def poisson_arrival_times(
+    rate: float, horizon: float, rng: np.random.Generator, *, start: float = 0.0
+) -> List[float]:
+    """Poisson-process arrivals at ``rate`` per unit over ``[start, start+horizon]``.
+
+    Used by the open-network extension scenarios (growing populations).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    # Draw slightly more exponential gaps than expected, then trim.
+    expected = int(rate * horizon)
+    out: List[float] = []
+    t = start
+    end = start + horizon
+    while True:
+        gaps = rng.exponential(1.0 / rate, size=max(64, expected // 4 + 1))
+        for g in gaps:
+            t += float(g)
+            if t > end:
+                return out
+            out.append(t)

@@ -1,0 +1,148 @@
+"""Failure injection: correlated departures beyond the churn model.
+
+Session churn (the lifetime distribution) models *independent*
+departures; real P2P deployments also see *correlated* ones -- an ISP
+outage taking out a subnet, a client-version ban, a flash disconnection
+after a broadcast event.  For a super-peer network the interesting case
+is losing a large slice of the **super-layer at once**: the ratio spikes
+far above η, thousands of leaves are orphaned, and the layer manager
+must rebuild the backbone from whatever leaves remain.
+
+:class:`FailureInjector` schedules such events against a running
+:class:`~repro.churn.lifecycle.ChurnDriver`.  Victims die through the
+driver's normal kill path (pending natural deaths are cancelled, orphan
+repair runs, the overhead ledger records the deaths), and victims can
+optionally be replaced -- immediately (the population model's default)
+or spread over a recovery window (users drifting back online).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.events import Event
+from ..sim.scheduler import Simulator
+from .lifecycle import ChurnDriver
+
+__all__ = ["FailureInjector", "FailureRecord", "MASS_DEPARTURE"]
+
+#: Event kind used by scheduled failures.
+MASS_DEPARTURE = "mass_departure"
+
+_LAYERS = ("super", "leaf", "any")
+
+
+@dataclass(frozen=True, slots=True)
+class FailureRecord:
+    """What one injected failure actually did."""
+
+    time: float
+    layer: str
+    requested_fraction: float
+    victims: int
+    supers_lost: int
+    leaves_lost: int
+
+
+class FailureInjector:
+    """Schedules and executes correlated-departure failures."""
+
+    def __init__(self, driver: ChurnDriver) -> None:
+        self.driver = driver
+        self.ctx = driver.ctx
+        self.records: List[FailureRecord] = []
+        self._rng = self.ctx.sim.rng.get("failures")
+        self.ctx.sim.on(MASS_DEPARTURE, self._on_mass_departure)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule_mass_departure(
+        self,
+        time: float,
+        fraction: float,
+        *,
+        layer: str = "super",
+        replace_over: Optional[float] = None,
+    ) -> Event:
+        """At ``time``, remove ``fraction`` of the given layer at once.
+
+        ``layer`` is ``"super"``, ``"leaf"``, or ``"any"``.  With
+        ``replace_over=None`` victims are replaced immediately (constant
+        population, the default churn model); a positive value spreads
+        the replacement joins uniformly over that many time units; zero
+        replacement can be expressed with ``replace_over=float('inf')``
+        only by disabling the driver's replacement -- an injector never
+        silently shrinks the network.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if layer not in _LAYERS:
+            raise ValueError(f"layer must be one of {_LAYERS}, got {layer!r}")
+        if replace_over is not None and replace_over < 0:
+            raise ValueError("replace_over must be >= 0 or None")
+        return self.ctx.sim.schedule_at(
+            time,
+            MASS_DEPARTURE,
+            {"fraction": fraction, "layer": layer, "replace_over": replace_over},
+        )
+
+    # -- execution -----------------------------------------------------------
+    def _on_mass_departure(self, sim: Simulator, event: Event) -> None:
+        self.execute(
+            event.payload["fraction"],
+            layer=event.payload["layer"],
+            replace_over=event.payload["replace_over"],
+        )
+
+    def execute(
+        self,
+        fraction: float,
+        *,
+        layer: str = "super",
+        replace_over: Optional[float] = None,
+    ) -> FailureRecord:
+        """Perform a mass departure immediately; returns the record."""
+        ov = self.ctx.overlay
+        if layer == "super":
+            pool = ov.super_ids
+        elif layer == "leaf":
+            pool = ov.leaf_ids
+        else:
+            pool = None
+        if pool is not None:
+            count = max(1, int(round(fraction * len(pool)))) if len(pool) else 0
+            victims = pool.sample(self._rng, count)
+        else:
+            count = max(1, int(round(fraction * ov.n))) if ov.n else 0
+            # Sample proportionally from both layers.
+            n_sup = int(round(count * ov.n_super / max(ov.n, 1)))
+            victims = ov.super_ids.sample(self._rng, n_sup)
+            victims += ov.leaf_ids.sample(self._rng, count - len(victims))
+
+        supers_lost = 0
+        leaves_lost = 0
+        immediate = replace_over is None
+        for pid in victims:
+            peer = ov.get(pid)
+            if peer is None:
+                continue
+            if peer.is_super:
+                supers_lost += 1
+            else:
+                leaves_lost += 1
+            self.driver.kill_peer(pid, replace=immediate)
+        if not immediate and replace_over is not None and victims:
+            window = max(replace_over, 1e-9)
+            offsets = self._rng.uniform(0.0, window, size=len(victims))
+            for dt in offsets:
+                self.ctx.sim.schedule(float(dt), "peer_join")
+        record = FailureRecord(
+            time=self.ctx.now,
+            layer=layer,
+            requested_fraction=fraction,
+            victims=supers_lost + leaves_lost,
+            supers_lost=supers_lost,
+            leaves_lost=leaves_lost,
+        )
+        self.records.append(record)
+        return record

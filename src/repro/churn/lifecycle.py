@@ -1,0 +1,168 @@
+"""The churn driver: binds arrivals, deaths, and the layer policy.
+
+Besides capacity and lifetime, each arrival is stamped *eligible* or not
+(with probability ``eligible_fraction``) -- modeling the non-capacity
+super-peer requirements of the Gnutella Ultrapeer proposal the paper
+cites in §2 (reachability, operating system).  Policies receive the
+flag and must keep ineligible peers out of the super-layer.
+
+Implements the paper's population model (§5): cold start, warm-up growth
+to the designated size, then death-replacement (constant population).
+Per-peer capacity and lifetime are sampled at join from the configured
+distributions, whose means the scenario script may shift mid-run -- that
+is how the Figures 4-8 dynamic workloads are produced.
+
+Event flow:
+
+* ``PEER_JOIN`` -- sample capacity/lifetime, ask the policy for a layer,
+  wire the peer in, schedule its ``PEER_LEAVE`` at its death time.
+* ``PEER_LEAVE`` -- remove the peer; if it was a super-peer, repair its
+  orphans and the backbone; if replacement is on, schedule an immediate
+  ``PEER_JOIN`` so the population holds.
+* ``SCENARIO_SHIFT`` -- apply a distribution-mean shift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+from ..sim.events import Event, EventKind
+from ..sim.scheduler import Simulator
+from .arrivals import poisson_arrival_times, warmup_join_times
+from .distributions import ScalableDistribution
+from .scenarios import Scenario
+
+__all__ = ["ChurnDriver"]
+
+
+class ChurnDriver:
+    """Drives joins, deaths, and scenario shifts against one context."""
+
+    def __init__(
+        self,
+        ctx: SystemContext,
+        policy: LayerPolicy,
+        lifetimes: ScalableDistribution,
+        capacities: ScalableDistribution,
+        *,
+        replacement: bool = True,
+        scenario: Optional[Scenario] = None,
+        eligible_fraction: float = 1.0,
+    ) -> None:
+        if not 0 < eligible_fraction <= 1:
+            raise ValueError(
+                f"eligible_fraction must be in (0, 1], got {eligible_fraction}"
+            )
+        self.ctx = ctx
+        self.policy = policy
+        self.lifetimes = lifetimes
+        self.capacities = capacities
+        self.replacement = replacement
+        self.scenario = scenario
+        self.eligible_fraction = eligible_fraction
+        self._rng_life = ctx.sim.rng.get("lifetime")
+        self._rng_cap = ctx.sim.rng.get("capacity")
+        self._rng_arrivals = ctx.sim.rng.get("arrivals")
+        sim = ctx.sim
+        sim.on(EventKind.PEER_JOIN, self._on_join)
+        sim.on(EventKind.PEER_LEAVE, self._on_leave)
+        sim.on(EventKind.SCENARIO_SHIFT, self._on_shift)
+        if scenario is not None:
+            for shift in scenario.sorted_shifts():
+                sim.schedule_at(
+                    shift.time,
+                    EventKind.SCENARIO_SHIFT,
+                    {"target": shift.target, "scale": shift.scale},
+                )
+        # Pending death events by pid (cancellable by failure injection).
+        self._leave_events: dict[int, Event] = {}
+        # Run counters.
+        self.joins = 0
+        self.deaths = 0
+
+    # -- population ------------------------------------------------------
+    def populate(self, n: int, *, warmup: float = 100.0) -> None:
+        """Schedule the warm-up growth to ``n`` peers."""
+        for t in warmup_join_times(n, warmup, self._rng_arrivals, start=self.ctx.now):
+            self.ctx.sim.schedule_at(t, EventKind.PEER_JOIN)
+
+    def spawn_now(self) -> None:
+        """Schedule one extra join at the current time."""
+        self.ctx.sim.schedule(0.0, EventKind.PEER_JOIN)
+
+    def schedule_poisson_arrivals(self, rate: float, horizon: float) -> int:
+        """Open-network mode: schedule Poisson arrivals at ``rate``/unit
+        over the next ``horizon`` units (extension: growing populations).
+
+        Combine with ``replacement=False``: the population then drifts
+        toward ``rate x mean_lifetime`` (an M/G/inf queue) instead of
+        being pinned by death-replacement.  Returns the number of
+        arrivals scheduled.
+        """
+        times = poisson_arrival_times(
+            rate, horizon, self._rng_arrivals, start=self.ctx.now
+        )
+        for t in times:
+            self.ctx.sim.schedule_at(t, EventKind.PEER_JOIN)
+        return len(times)
+
+    # -- handlers ------------------------------------------------------------
+    def _on_join(self, sim: Simulator, event: Event) -> None:
+        capacity = float(self.capacities.sample_one(self._rng_cap))
+        lifetime = float(self.lifetimes.sample_one(self._rng_life))
+        eligible = (
+            self.eligible_fraction >= 1.0
+            or self._rng_cap.random() < self.eligible_fraction
+        )
+        role = self.policy.role_for_new_peer(capacity, eligible=eligible)
+        peer = self.ctx.join.join(
+            sim.now, capacity, lifetime, role=role, eligible=eligible
+        )
+        self._leave_events[peer.pid] = sim.schedule_at(
+            peer.death_time, EventKind.PEER_LEAVE, {"pid": peer.pid}
+        )
+        if peer.is_leaf:
+            self.ctx.overhead.record_leaf_join(len(peer.super_neighbors))
+        self.joins += 1
+        self.policy.on_peer_joined(peer)
+
+    def _on_leave(self, sim: Simulator, event: Event) -> None:
+        self.kill_peer(event.payload["pid"], replace=self.replacement)
+
+    def kill_peer(self, pid: int, *, replace: bool) -> bool:
+        """Remove a peer now (natural death or injected failure).
+
+        Cancels any pending scheduled death, runs the super-death repair
+        path, and (optionally) spawns a replacement join.  Returns False
+        if the peer was already gone.
+        """
+        peer = self.ctx.overlay.get(pid)
+        if peer is None:
+            return False
+        pending = self._leave_events.pop(pid, None)
+        if pending is not None:
+            pending.cancel()
+        was_super = peer.is_super
+        orphans, former_supers = self.ctx.overlay.remove_peer(pid)
+        if was_super:
+            report = self.ctx.maintenance.after_super_death(orphans, former_supers)
+            self.ctx.overhead.record_super_death(
+                len(orphans), report.leaf_reconnections
+            )
+        self.deaths += 1
+        self.policy.on_peer_left(pid)
+        if replace:
+            self.spawn_now()
+        return True
+
+    def _on_shift(self, sim: Simulator, event: Event) -> None:
+        target = event.payload["target"]
+        scale = event.payload["scale"]
+        if target == "lifetime":
+            self.lifetimes.set_scale(scale)
+        elif target == "capacity":
+            self.capacities.set_scale(scale)
+        else:  # pragma: no cover - Shift validates targets already
+            raise ValueError(f"unknown shift target {target!r}")

@@ -1,0 +1,133 @@
+"""Scenario scripting: time-varying distribution means.
+
+The paper's dynamic experiments change the *means* of the arrival
+distributions mid-run (§5):
+
+* Figures 4-6: at t = 300 new peers' **lifetime** means are halved; at
+  t = 1000 new peers' **capacity** means are doubled.
+* Figures 7-8: new peers' capacity means are "periodically changed"; we
+  toggle between 1x and a high multiple with a fixed period.
+
+A scenario is a list of :class:`Shift` records applied to the churn
+driver's distributions via ``SCENARIO_SHIFT`` events, so shifts appear in
+traces and are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = [
+    "Shift",
+    "Scenario",
+    "stable_scenario",
+    "figure45_scenario",
+    "periodic_capacity_scenario",
+    "periodic_lifetime_scenario",
+]
+
+#: Which distribution a shift applies to.
+TARGETS = ("lifetime", "capacity")
+
+
+@dataclass(frozen=True, slots=True)
+class Shift:
+    """Set ``target`` distribution's mean multiplier to ``scale`` at ``time``."""
+
+    time: float
+    target: str
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(f"target must be one of {TARGETS}, got {self.target!r}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.time < 0:
+            raise ValueError(f"time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered script of mean shifts."""
+
+    name: str
+    shifts: Sequence[Shift] = ()
+
+    def sorted_shifts(self) -> List[Shift]:
+        """Shifts in time order."""
+        return sorted(self.shifts, key=lambda s: s.time)
+
+    def __len__(self) -> int:
+        return len(self.shifts)
+
+
+def stable_scenario() -> Scenario:
+    """The paper's stable network: no mean shifts."""
+    return Scenario(name="stable", shifts=())
+
+
+def figure45_scenario(
+    *, lifetime_shift_at: float = 300.0, capacity_shift_at: float = 1000.0
+) -> Scenario:
+    """The Figures 4-6 dynamic network.
+
+    Lifetime mean halved from ``lifetime_shift_at`` (default t=300);
+    capacity mean doubled from ``capacity_shift_at`` (default t=1000).
+    """
+    return Scenario(
+        name="figure45_dynamic",
+        shifts=(
+            Shift(time=lifetime_shift_at, target="lifetime", scale=0.5),
+            Shift(time=capacity_shift_at, target="capacity", scale=2.0),
+        ),
+    )
+
+
+def _periodic(
+    target: str, period: float, horizon: float, first: float, second: float, start: float
+) -> List[Shift]:
+    """Alternate the scale between ``first`` and ``second`` every period."""
+    shifts: List[Shift] = []
+    t = start
+    use_first = True
+    while t <= horizon:
+        shifts.append(Shift(time=t, target=target, scale=first if use_first else second))
+        use_first = not use_first
+        t += period
+    return shifts
+
+
+def periodic_capacity_scenario(
+    *,
+    period: float = 250.0,
+    horizon: float = 2000.0,
+    low: float = 1.0,
+    high: float = 4.0,
+    start: float = 250.0,
+) -> Scenario:
+    """The Figures 7-8 workload: capacity mean toggles low/high each period."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return Scenario(
+        name="periodic_capacity",
+        shifts=tuple(_periodic("capacity", period, horizon, high, low, start)),
+    )
+
+
+def periodic_lifetime_scenario(
+    *,
+    period: float = 250.0,
+    horizon: float = 2000.0,
+    low: float = 0.5,
+    high: float = 1.0,
+    start: float = 250.0,
+) -> Scenario:
+    """Extension workload: lifetime mean toggles each period."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return Scenario(
+        name="periodic_lifetime",
+        shifts=tuple(_periodic("lifetime", period, horizon, low, high, start)),
+    )

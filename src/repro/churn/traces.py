@@ -1,0 +1,199 @@
+"""Churn traces: recorded arrival sequences, replayable bit-for-bit.
+
+The paper parameterized its simulator from traces harvested with
+instrumented Gnutella clients.  This module is where such data plugs in:
+a :class:`ChurnTrace` is a time-ordered list of ``(join_time, capacity,
+lifetime)`` records that a :class:`TraceDriver` replays into a live
+system -- so two policies can be compared on *literally identical*
+arrivals, and external traces (real measurements, other simulators) can
+be imported from JSON.
+
+Under the death-replacement population model the whole arrival sequence
+is a pure function of the initial draws (each death at ``join +
+lifetime`` triggers the next join), so :func:`synthesize_replacement_trace`
+can generate a full trace analytically, without running the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..context import SystemContext
+from ..core.policy import LayerPolicy
+from ..sim.events import EventKind
+from .arrivals import warmup_join_times
+from .distributions import ScalableDistribution
+
+__all__ = [
+    "TraceRecord",
+    "ChurnTrace",
+    "synthesize_replacement_trace",
+    "TraceDriver",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One arrival: when, how strong, and for how long."""
+
+    join_time: float
+    capacity: float
+    lifetime: float
+
+    def __post_init__(self) -> None:
+        if self.join_time < 0:
+            raise ValueError(f"join_time must be >= 0, got {self.join_time}")
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.lifetime <= 0:
+            raise ValueError(f"lifetime must be > 0, got {self.lifetime}")
+
+    @property
+    def death_time(self) -> float:
+        """join_time + lifetime."""
+        return self.join_time + self.lifetime
+
+
+class ChurnTrace:
+    """A time-ordered arrival sequence with JSON persistence."""
+
+    def __init__(self, records: Sequence[TraceRecord]) -> None:
+        self.records: List[TraceRecord] = sorted(
+            records, key=lambda r: r.join_time
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def horizon(self) -> float:
+        """Last join time (0.0 for an empty trace)."""
+        return self.records[-1].join_time if self.records else 0.0
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": "repro-churn-trace-v1",
+            "records": [
+                [r.join_time, r.capacity, r.lifetime] for r in self.records
+            ],
+        }
+        path.write_text(json.dumps(doc))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChurnTrace":
+        """Read a trace written by :meth:`save`."""
+        doc = json.loads(Path(path).read_text())
+        if doc.get("format") != "repro-churn-trace-v1":
+            raise ValueError(f"not a churn trace file: {path}")
+        return cls(
+            [TraceRecord(float(t), float(c), float(l)) for t, c, l in doc["records"]]
+        )
+
+
+def synthesize_replacement_trace(
+    n: int,
+    horizon: float,
+    lifetimes: ScalableDistribution,
+    capacities: ScalableDistribution,
+    rng: np.random.Generator,
+    *,
+    warmup: float = 100.0,
+) -> ChurnTrace:
+    """The paper's population model as a closed-form trace.
+
+    ``n`` warm-up arrivals uniform over ``[0, warmup]``; every death
+    before ``horizon`` spawns the next arrival at the death instant.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    records: List[TraceRecord] = []
+    deaths: List[float] = []
+    for t in warmup_join_times(n, warmup, rng):
+        rec = TraceRecord(
+            join_time=t,
+            capacity=float(capacities.sample_one(rng)),
+            lifetime=float(lifetimes.sample_one(rng)),
+        )
+        records.append(rec)
+        heapq.heappush(deaths, rec.death_time)
+    while deaths:
+        death = heapq.heappop(deaths)
+        if death > horizon:
+            break
+        rec = TraceRecord(
+            join_time=death,
+            capacity=float(capacities.sample_one(rng)),
+            lifetime=float(lifetimes.sample_one(rng)),
+        )
+        records.append(rec)
+        heapq.heappush(deaths, rec.death_time)
+    return ChurnTrace(records)
+
+
+class TraceDriver:
+    """Replays a :class:`ChurnTrace` into a live system.
+
+    The trace fixes *who arrives when, how strong, for how long*; the
+    bound policy still decides layers and the overlay still wires links
+    randomly (from the context's seeded streams), so replays are exactly
+    reproducible per seed while arrivals stay identical across policies.
+    """
+
+    def __init__(
+        self, ctx: SystemContext, policy: LayerPolicy, trace: ChurnTrace
+    ) -> None:
+        self.ctx = ctx
+        self.policy = policy
+        self.trace = trace
+        self.joins = 0
+        self.deaths = 0
+        ctx.sim.on("trace_join", self._on_join)
+        ctx.sim.on(EventKind.PEER_LEAVE, self._on_leave)
+        for rec in trace:
+            ctx.sim.schedule_at(
+                rec.join_time,
+                "trace_join",
+                {"capacity": rec.capacity, "lifetime": rec.lifetime},
+            )
+
+    def _on_join(self, sim, event) -> None:
+        capacity = event.payload["capacity"]
+        lifetime = event.payload["lifetime"]
+        role = self.policy.role_for_new_peer(capacity)
+        peer = self.ctx.join.join(sim.now, capacity, lifetime, role=role)
+        sim.schedule_at(peer.death_time, EventKind.PEER_LEAVE, {"pid": peer.pid})
+        if peer.is_leaf:
+            self.ctx.overhead.record_leaf_join(len(peer.super_neighbors))
+        self.joins += 1
+        self.policy.on_peer_joined(peer)
+
+    def _on_leave(self, sim, event) -> None:
+        pid = event.payload["pid"]
+        peer = self.ctx.overlay.get(pid)
+        if peer is None:
+            return
+        was_super = peer.is_super
+        orphans, former = self.ctx.overlay.remove_peer(pid)
+        if was_super:
+            report = self.ctx.maintenance.after_super_death(orphans, former)
+            self.ctx.overhead.record_super_death(
+                len(orphans), report.leaf_reconnections
+            )
+        self.deaths += 1
+        self.policy.on_peer_left(pid)

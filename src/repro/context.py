@@ -1,0 +1,86 @@
+"""The composition context shared by policies, churn, and search.
+
+A :class:`SystemContext` bundles the engine and substrates one simulated
+super-peer system is made of, so layer policies (:mod:`repro.core.dlm`,
+:mod:`repro.baselines`) and drivers (:mod:`repro.churn.lifecycle`,
+:mod:`repro.search`) can be wired against a single object instead of six.
+
+Use :func:`build_context` for the standard wiring; tests that need exotic
+setups construct the pieces by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .metrics.overhead import OverheadLedger
+from .overlay.bootstrap import JoinProcedure
+from .overlay.maintenance import Maintenance
+from .overlay.topology import Overlay
+from .protocol.accounting import MessageLedger
+from .protocol.transport import InfoExchange
+from .sim.scheduler import Simulator
+
+__all__ = ["SystemContext", "build_context"]
+
+
+@dataclass
+class SystemContext:
+    """Everything a running super-peer system consists of."""
+
+    sim: Simulator
+    overlay: Overlay
+    join: JoinProcedure
+    maintenance: Maintenance
+    messages: MessageLedger
+    info: InfoExchange
+    overhead: OverheadLedger
+    m: int
+    k_s: int
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+
+def build_context(
+    *,
+    seed: int = 0,
+    m: int = 2,
+    k_s: int = 3,
+    piggyback: bool = False,
+    sim: Optional[Simulator] = None,
+) -> SystemContext:
+    """Standard wiring of a fresh system (Table-2 degree parameters).
+
+    Parameters
+    ----------
+    seed:
+        Root seed when ``sim`` is not supplied.
+    m, k_s:
+        Leaf->super and super->super degree targets (Table 2: 2 and 3).
+    piggyback:
+        Whether DLM control messages ride in existing traffic (§6).
+    sim:
+        An existing simulator to attach to (tests re-use one).
+    """
+    sim = sim if sim is not None else Simulator(seed=seed)
+    overlay = Overlay()
+    join = JoinProcedure(overlay, m, sim.rng.get("bootstrap"), k_s=k_s)
+    maintenance = Maintenance(overlay, join, m=m, k_s=k_s)
+    messages = MessageLedger(piggyback=piggyback)
+    info = InfoExchange(overlay, messages)
+    overhead = OverheadLedger(m)
+    return SystemContext(
+        sim=sim,
+        overlay=overlay,
+        join=join,
+        maintenance=maintenance,
+        messages=messages,
+        info=info,
+        overhead=overhead,
+        m=m,
+        k_s=k_s,
+    )

@@ -1,0 +1,77 @@
+"""Definition 1: the weighted multi-metric capacity combiner.
+
+``capacity(d) = Σ_i w_i · v_i(d)`` over ``r`` metrics (bandwidth, CPU,
+storage, ...).  The paper's own simulation "just use[s] the bandwidth of
+a peer as its capacity"; ours does the same by default, but the combiner
+is a real component so multi-metric configurations can be exercised (and
+are, in tests and the quickstart example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["CapacityModel", "bandwidth_only_model"]
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """A fixed set of metric names with weights.
+
+    Parameters
+    ----------
+    weights:
+        ``metric name -> weight``; weights must be positive and the set
+        non-empty.
+    """
+
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("at least one metric is required")
+        for name, w in self.weights.items():
+            if w <= 0:
+                raise ValueError(f"weight for {name!r} must be positive, got {w}")
+
+    @property
+    def metrics(self) -> Tuple[str, ...]:
+        """Metric names in a stable order."""
+        return tuple(sorted(self.weights))
+
+    def combine(self, values: Mapping[str, float]) -> float:
+        """capacity = Σ w_i · v_i; every metric must be supplied, none extra."""
+        missing = set(self.weights) - set(values)
+        if missing:
+            raise ValueError(f"missing metric values: {sorted(missing)}")
+        extra = set(values) - set(self.weights)
+        if extra:
+            raise ValueError(f"unknown metrics supplied: {sorted(extra)}")
+        return float(sum(self.weights[k] * values[k] for k in self.weights))
+
+    def combine_many(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorized combine over per-metric sample columns."""
+        missing = set(self.weights) - set(columns)
+        if missing:
+            raise ValueError(f"missing metric columns: {sorted(missing)}")
+        names = self.metrics
+        lengths = {len(columns[k]) for k in names}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged metric columns: lengths {sorted(lengths)}")
+        out = np.zeros(lengths.pop() if lengths else 0)
+        for k in names:
+            out += self.weights[k] * np.asarray(columns[k], dtype=float)
+        return out
+
+    def normalized(self) -> "CapacityModel":
+        """Same model with weights rescaled to sum to 1."""
+        total = sum(self.weights.values())
+        return CapacityModel({k: w / total for k, w in self.weights.items()})
+
+
+def bandwidth_only_model() -> CapacityModel:
+    """The paper's simulation choice: capacity == bandwidth."""
+    return CapacityModel({"bandwidth": 1.0})

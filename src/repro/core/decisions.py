@@ -1,0 +1,47 @@
+"""Phase 4: the promotion/demotion decision rule.
+
+A leaf-peer promotes when *both* Y values are small enough (it beats most
+super-peers it knows on both metrics); a super-peer demotes when *both* Y
+values are large enough (most of its leaves beat it on both metrics).
+The conjunction is the paper's: capacity and age are disjoint metrics and
+a peer must qualify on each.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..overlay.roles import Role
+from .comparison import ComparisonResult
+from .scaling import AdaptedParameters
+
+__all__ = ["Action", "Decision", "decide"]
+
+
+class Action(enum.Enum):
+    """Outcome of one DLM evaluation."""
+
+    NONE = "none"
+    PROMOTE = "promote"
+    DEMOTE = "demote"
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """An action with the evidence that produced it (for tracing/tests)."""
+
+    action: Action
+    y: ComparisonResult
+    params: AdaptedParameters
+
+
+def decide(role: Role, y: ComparisonResult, params: AdaptedParameters) -> Decision:
+    """Apply the Phase-4 rule for the given role."""
+    if role is Role.LEAF:
+        if y.y_capa < params.z_promote and y.y_age < params.z_promote:
+            return Decision(Action.PROMOTE, y, params)
+        return Decision(Action.NONE, y, params)
+    if y.y_capa > params.z_demote and y.y_age > params.z_demote:
+        return Decision(Action.DEMOTE, y, params)
+    return Decision(Action.NONE, y, params)

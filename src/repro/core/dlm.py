@@ -1,0 +1,268 @@
+"""The DLM policy: the paper's contribution, wired end to end.
+
+Per §4, every peer independently runs the four phases:
+
+1. **Information collection** -- event-driven on connection creation
+   (charged to the message ledger through
+   :class:`~repro.protocol.transport.InfoExchange`); an optional periodic
+   refresh sweep reproduces the paper's alternative policy (ablation A3).
+2. **Ratio estimation** -- µ from local ``l_nn`` observations
+   (:class:`~repro.core.estimator.RatioEstimator`).
+3. **Scaled comparison** -- Y counters against the related set with
+   µ-adapted scale factors (:mod:`repro.core.comparison`).
+4. **Promotion/demotion** -- threshold rule with µ-adapted thresholds,
+   executed through :class:`~repro.core.transitions.TransitionExecutor`.
+
+Evaluations triggered by a connection are *deferred* as zero-delay
+simulator events (deduplicated per peer) rather than run inline; a
+promotion/demotion creates further connections, and deferral keeps that
+cascade iterative instead of recursive, exactly like real peers acting on
+their next protocol tick.
+
+Implementation-completion details beyond the paper's text (documented in
+DESIGN.md):
+
+* anti-flapping cooldown between role changes of one peer;
+* a hard floor on the super-layer size;
+* forced demotion for super-peers whose related set is too small to
+  compare against but whose own µ says the super-layer is far too large
+  (probabilistically damped so a glut of empty super-peers does not
+  demote in lockstep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..context import SystemContext
+from ..overlay.peer import Peer
+from ..overlay.roles import Role
+from ..sim.events import EventKind
+from ..sim.processes import PeriodicProcess
+from .comparison import ComparisonResult, compare_against
+from .config import DLMConfig
+from .decisions import Action, Decision, decide
+from .estimator import RatioEstimator
+from .policy import LayerPolicy
+from .related_set import leaf_related_set
+from .scaling import ParameterScaler
+from .transitions import TransitionExecutor
+
+__all__ = ["DLMPolicy"]
+
+
+class DLMPolicy(LayerPolicy):
+    """Dynamic Layer Management (paper §4)."""
+
+    name = "dlm"
+
+    #: How many ticks one evaluation interval is divided into (staggering).
+    _SWEEP_SLICES = 10
+
+    def __init__(self, config: Optional[DLMConfig] = None) -> None:
+        super().__init__()
+        self.config = config or DLMConfig()
+        self.estimator = RatioEstimator(self.config)
+        self.scaler = ParameterScaler(self.config)
+        self._executor: Optional[TransitionExecutor] = None
+        self._pending: Set[int] = set()
+        self._last_eval: dict = {}
+        self._sweep: Optional[PeriodicProcess] = None
+        self._eval_sweep: Optional[PeriodicProcess] = None
+        # Run counters (consumed by reports and tests).
+        self.evaluations = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.forced_demotions = 0
+
+    # -- wiring --------------------------------------------------------------
+    def _install(self, ctx: SystemContext) -> None:
+        self._executor = TransitionExecutor(ctx, min_supers=self.config.min_supers)
+        ctx.overlay.add_connection_listener(self._on_connection)
+        ctx.sim.on(EventKind.DLM_EVALUATE, self._on_evaluate_event)
+        if self.config.periodic_interval is not None:
+            self._sweep = PeriodicProcess(
+                ctx.sim,
+                self.config.periodic_interval,
+                self._periodic_sweep,
+                kind=EventKind.DLM_REFRESH,
+            )
+        if self.config.evaluation_interval is not None:
+            # Stagger the sweep: a fine tick evaluates a random slice of
+            # the population such that each peer is re-evaluated about
+            # once per `evaluation_interval`.  Evaluating everyone at one
+            # instant would synchronize responses to the shared µ signal
+            # and bang-bang the layer sizes; staggering lets µ update
+            # between batches, exactly as independent peer clocks would.
+            tick = self.config.evaluation_interval / self._SWEEP_SLICES
+            self._eval_sweep = PeriodicProcess(
+                ctx.sim,
+                tick,
+                self._evaluation_sweep,
+                kind="dlm_eval_sweep",
+            )
+
+    def role_for_new_peer(
+        self, capacity: float, *, eligible: bool = True
+    ) -> Optional[Role]:
+        """§5: "The new peer is always assigned to leaf layer first"."""
+        return None  # default behavior: leaf (super only during cold start)
+
+    def on_peer_left(self, pid: int) -> None:
+        """Drop the departed peer's evaluation-rate bookkeeping."""
+        self._last_eval.pop(pid, None)
+
+    # -- phase 1: triggers ---------------------------------------------------
+    def _on_connection(self, a: int, b: int) -> None:
+        ctx = self.ctx
+        ctx.info.on_connection_created(a, b)
+        if self.config.event_driven:
+            self.request_evaluation(a)
+            self.request_evaluation(b)
+
+    def request_evaluation(self, pid: int) -> None:
+        """Queue a deduplicated zero-delay evaluation of ``pid``."""
+        if pid in self._pending:
+            return
+        self._pending.add(pid)
+        self.ctx.sim.schedule(0.0, EventKind.DLM_EVALUATE, {"pid": pid})
+
+    def _on_evaluate_event(self, sim, event) -> None:
+        pid = event.payload["pid"]
+        self._pending.discard(pid)
+        self.evaluate(pid)
+
+    def _periodic_sweep(self, sim, now: float) -> None:
+        """The periodic information-exchange policy (ablation A3).
+
+        Refreshes every peer's neighbor information (charging the
+        corresponding traffic) and re-evaluates everyone.
+        """
+        ctx = self.ctx
+        for pid in list(ctx.overlay.leaf_ids):
+            ctx.info.refresh_leaf(pid)
+            self.request_evaluation(pid)
+        for pid in list(ctx.overlay.super_ids):
+            ctx.info.refresh_super(pid)
+            self.request_evaluation(pid)
+
+    def _evaluation_sweep(self, sim, now: float) -> None:
+        """Local re-evaluation of a random population slice (no messages).
+
+        Each tick evaluates ~1/:data:`_SWEEP_SLICES` of each layer, so a
+        peer is reconsidered about once per ``evaluation_interval`` on
+        average while actions stay spread over time.
+        """
+        ctx = self.ctx
+        rng = ctx.sim.rng.get("dlm-sweep")
+        n_leaf = max(1, len(ctx.overlay.leaf_ids) // self._SWEEP_SLICES)
+        n_super = max(1, len(ctx.overlay.super_ids) // self._SWEEP_SLICES)
+        for pid in ctx.overlay.leaf_ids.sample(rng, n_leaf):
+            self.evaluate(pid)
+        for pid in ctx.overlay.super_ids.sample(rng, n_super):
+            self.evaluate(pid)
+
+    # -- phases 2-4: evaluation --------------------------------------------
+    def evaluate(self, pid: int) -> Optional[Decision]:
+        """Run phases 2-4 for one peer; returns the decision (or None if
+        the peer is gone or still in cooldown)."""
+        ctx = self.ctx
+        peer = ctx.overlay.get(pid)
+        if peer is None:
+            return None
+        now = ctx.now
+        interval = self.config.min_eval_interval
+        if interval > 0.0:
+            last = self._last_eval.get(pid)
+            if last is not None and now - last < interval:
+                return None
+            self._last_eval[pid] = now
+        self.evaluations += 1
+        if now - peer.role_change_time < self.config.transition_cooldown:
+            return None
+        if peer.is_super:
+            decision = self._evaluate_super(peer, now)
+        else:
+            decision = self._evaluate_leaf(peer, now)
+        if decision is not None:
+            self._act(peer, decision)
+        return decision
+
+    def _evaluate_leaf(self, peer: Peer, now: float) -> Optional[Decision]:
+        if not peer.eligible:
+            return None  # §2 capability requirements gate promotion
+        ctx = self.ctx
+        view = leaf_related_set(
+            ctx.overlay, peer, now, current_only=self.config.leaf_g_current_only
+        )
+        if len(view) < self.config.min_related_set:
+            return None
+        mu = self.estimator.mu_for_leaf(view)
+        if mu is None:
+            return None
+        params = self.scaler.adapt(mu)
+        y = compare_against(view, peer.capacity, peer.age(now), params.x_capa, params.x_age)
+        return decide(Role.LEAF, y, params)
+
+    def _evaluate_super(self, peer: Peer, now: float) -> Optional[Decision]:
+        ctx = self.ctx
+        mu = self.estimator.mu_for_super(peer)
+        params = self.scaler.adapt(mu)
+        n = len(peer.leaf_neighbors)
+        if n >= self.config.min_related_set:
+            # Fused fast path: G(s) is the current leaf neighbors, so the
+            # Y counters can be computed in one pass over the adjacency
+            # without materializing a RelatedSetView -- this is the
+            # hottest loop at full scale (profiled ~25% of a run).
+            # Equivalence with the view-based path is unit-tested.
+            get = ctx.overlay.get
+            own_cap = peer.capacity
+            own_age = now - peer.join_time
+            x_capa = params.x_capa
+            x_age = params.x_age
+            hits_c = 0
+            hits_a = 0
+            for lid in peer.leaf_neighbors:
+                other = get(lid)
+                if other is None:  # pragma: no cover - adjacency is live
+                    continue
+                if other.capacity * x_capa > own_cap:
+                    hits_c += 1
+                if (now - other.join_time) * x_age > own_age:
+                    hits_a += 1
+            y = ComparisonResult(y_capa=hits_c / n, y_age=hits_a / n, g_size=n)
+            return decide(Role.SUPER, y, params)
+        # Too few leaves for a comparison (|G(s)| = l_nn here); fall
+        # back to the ratio-only forced-demotion rule.
+        if (
+            mu < self.config.force_demote_mu
+            and ctx.sim.rng.get("dlm-forced").random() < self.config.force_demote_prob
+        ):
+            self.forced_demotions += 1
+            if self._executor.demote(peer.pid):
+                self.demotions += 1
+        return None
+
+    def _act(self, peer: Peer, decision: Decision) -> None:
+        if decision.action is Action.NONE:
+            return
+        if (
+            self.config.action_prob < 1.0
+            and self.ctx.sim.rng.get("dlm-damping").random() >= self.config.action_prob
+        ):
+            return
+        assert self._executor is not None
+        if decision.action is Action.PROMOTE:
+            if self._executor.promote(peer.pid):
+                self.promotions += 1
+        elif self._executor.demote(peer.pid):
+            self.demotions += 1
+
+    def stop(self) -> None:
+        """Cancel the periodic sweeps (if any); used by harness teardown."""
+        if self._sweep is not None:
+            self._sweep.stop()
+            self._sweep = None
+        if self._eval_sweep is not None:
+            self._eval_sweep.stop()
+            self._eval_sweep = None

@@ -1,0 +1,45 @@
+"""Phase 2: estimating the layer-size-ratio inappropriateness µ.
+
+No peer knows the global ratio; the estimator exploits the fact that,
+because neighbor selection is random, the leaf-neighbor counts of
+super-peers reflect the current global ratio: the average ``l_nn`` equals
+``m · η_current``, so
+
+    µ = log(l_nn / k_l) = log(η_current / η_target)
+
+up to sampling noise.  A super-peer uses its *own* ``l_nn``; a leaf-peer
+averages the ``l_nn`` of the super-peers in its related set ``G(l)``.
+"""
+
+from __future__ import annotations
+
+from ..overlay.peer import Peer
+from ..overlay.topology import Overlay
+from .config import DLMConfig
+from .equations import mu_inappropriateness
+from .related_set import RelatedSetView
+
+__all__ = ["RatioEstimator"]
+
+
+class RatioEstimator:
+    """Computes µ for either role from local observations."""
+
+    def __init__(self, config: DLMConfig) -> None:
+        self.config = config
+
+    def mu_for_super(self, peer: Peer) -> float:
+        """µ from the super-peer's own leaf-neighbor count."""
+        return mu_inappropriateness(len(peer.leaf_neighbors), self.config.k_l)
+
+    def mu_for_leaf(self, view: RelatedSetView) -> float | None:
+        """µ from the mean ``l_nn`` over G(l); None when G is empty."""
+        if len(view) == 0:
+            return None
+        return mu_inappropriateness(view.mean_leaf_count, self.config.k_l)
+
+    def mu_for(self, overlay: Overlay, peer: Peer, view: RelatedSetView) -> float | None:
+        """Role-dispatching µ."""
+        if peer.is_super:
+            return self.mu_for_super(peer)
+        return self.mu_for_leaf(view)

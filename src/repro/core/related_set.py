@@ -1,0 +1,96 @@
+"""Definition 3: the related set ``G``.
+
+For a super-peer ``s``, ``G(s)`` is its current leaf neighbors.  For a
+leaf-peer ``l``, ``G(l)`` is the super-peers it has connected to within a
+recent period; the paper's simulation takes "all the super-peers that a
+leaf-peer has connected since it joins the network", which is what the
+overlay records in ``Peer.contacted_supers``.
+
+Departed super-peers are pruned lazily at view-construction time: their
+metric values are no longer observable, and keeping ghosts would let a
+leaf compare itself against peers that no longer exist.  (DESIGN.md
+documents this as an interpretation decision.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..overlay.peer import Peer
+from ..overlay.topology import Overlay
+
+__all__ = ["RelatedSetView", "super_related_set", "leaf_related_set"]
+
+
+@dataclass(frozen=True, slots=True)
+class RelatedSetView:
+    """Metric values of a peer's related set at one instant.
+
+    ``capacities[i]`` and ``ages[i]`` belong to the same member;
+    ``leaf_counts`` is only populated for a *leaf's* view (the observed
+    ``l_nn`` of each super in ``G(l)``, feeding the µ estimate).
+    """
+
+    members: Tuple[int, ...]
+    capacities: Tuple[float, ...]
+    ages: Tuple[float, ...]
+    leaf_counts: Tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def mean_leaf_count(self) -> float:
+        """Average observed ``l_nn``; 0.0 for an empty view."""
+        if not self.leaf_counts:
+            return 0.0
+        return sum(self.leaf_counts) / len(self.leaf_counts)
+
+
+def super_related_set(overlay: Overlay, peer: Peer, now: float) -> RelatedSetView:
+    """G(s): the super-peer's current leaf neighbors."""
+    members: List[int] = []
+    caps: List[float] = []
+    ages: List[float] = []
+    for lid in peer.leaf_neighbors:
+        other = overlay.get(lid)
+        if other is None:
+            continue
+        members.append(lid)
+        caps.append(other.capacity)
+        ages.append(other.age(now))
+    return RelatedSetView(tuple(members), tuple(caps), tuple(ages))
+
+
+def leaf_related_set(
+    overlay: Overlay, peer: Peer, now: float, *, current_only: bool = False
+) -> RelatedSetView:
+    """G(l): live super-peers contacted since join, pruning the departed.
+
+    Mutates ``peer.contacted_supers`` to drop members that have left the
+    network or been demoted (their values are unobservable), keeping the
+    set's size bounded by churn rather than history length.
+
+    ``current_only=True`` restricts G(l) to the leaf's *current* super
+    links instead of its contact history -- the A4 ablation comparing the
+    paper's since-join scope against the cheaper alternative.
+    """
+    members: List[int] = []
+    caps: List[float] = []
+    ages: List[float] = []
+    lnn: List[int] = []
+    dead: List[int] = []
+    source = peer.super_neighbors if current_only else peer.contacted_supers
+    for sid in source:
+        other = overlay.get(sid)
+        if other is None or not other.is_super:
+            dead.append(sid)
+            continue
+        members.append(sid)
+        caps.append(other.capacity)
+        ages.append(other.age(now))
+        lnn.append(len(other.leaf_neighbors))
+    for sid in dead:
+        peer.contacted_supers.discard(sid)
+    return RelatedSetView(tuple(members), tuple(caps), tuple(ages), tuple(lnn))

@@ -1,0 +1,121 @@
+"""Command-line entry point: ``repro-experiment <id> [options]``.
+
+Runs any registered paper artifact at bench scale (default), full paper
+scale (``--full``), or a custom size, and prints the rendered figure or
+table plus the shape metrics recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .configs import bench_config, table2_config
+from .registry import all_ids, get_experiment
+from .table3 import PAPER_SIZES, run_table3
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-experiment`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce a table/figure from 'Dynamic Layer Management in "
+            "Super-peer Architectures' (ICPP 2004)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(all_ids()) + ["list", "report"],
+        help="experiment id, 'list' to enumerate, or 'report' to "
+        "regenerate EXPERIMENTS.md content on stdout",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's Table-2 scale (n=50000; minutes, not seconds)",
+    )
+    parser.add_argument("--n", type=int, default=None, help="override network size")
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="override simulated horizon"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override root seed")
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="also write the render and shape metrics into DIR",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for exp_id in all_ids():
+            exp = get_experiment(exp_id)
+            print(f"{exp_id:10s} {exp.paper_artifact:9s} {exp.description}")
+        return 0
+
+    cfg = table2_config() if args.full else bench_config()
+    if args.experiment == "report":
+        from .report import generate_experiments_report
+
+        print(generate_experiments_report(None if not args.full else cfg))
+        return 0
+
+    if args.n is not None:
+        cfg = cfg.scaled(args.n)
+    if args.horizon is not None:
+        cfg = cfg.with_(horizon=args.horizon)
+    if args.seed is not None:
+        cfg = cfg.with_(seed=args.seed)
+
+    started = time.perf_counter()
+    if args.experiment == "table3" and args.n is None:
+        # Table 3 sweeps sizes itself; --full selects the paper's sizes.
+        sizes = PAPER_SIZES if args.full else None
+        result = run_table3(sizes) if sizes else run_table3()
+    else:
+        result = get_experiment(args.experiment).run(cfg)
+    elapsed = time.perf_counter() - started
+
+    render = getattr(result, "render", None)
+    rendered = render() if callable(render) else None
+    if rendered is not None:
+        print(rendered)
+    check = getattr(result, "check_shape", None)
+    shape = check() if callable(check) else None
+    if shape is not None:
+        print("\nshape metrics:")
+        for key, value in shape.items():
+            print(f"  {key}: {value}")
+    if args.save:
+        _save_artifacts(args.save, args.experiment, rendered, shape)
+    print(f"\n[{args.experiment} completed in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _save_artifacts(directory: str, experiment: str, rendered, shape) -> None:
+    """Write the render (.txt) and shape metrics (.json) into a directory."""
+    import json
+    from pathlib import Path
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    if rendered is not None:
+        (out / f"{experiment}.txt").write_text(rendered + "\n")
+    if shape is not None:
+        (out / f"{experiment}_shape.json").write_text(
+            json.dumps(shape, indent=2, sort_keys=True, default=str)
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""The shared DLM-vs-preconfigured comparison behind Figures 7 and 8.
+
+Two runs over the identical periodic workload ("the new peers' mean
+capacity values are periodically changed", §5) with the search plane
+enabled so success rates are measured on both -- the paper's Figure 7
+caption is "Layer Size Ratios *on Same Success Rate*":
+
+* **DLM** at the configured η;
+* **preconfigured** with a fixed capacity threshold.
+
+The threshold is chosen against the *baseline* capacity mix so the
+preconfigured network starts near the same η, making the subsequent
+divergence attributable to the workload, not the starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.preconfigured import PreconfiguredPolicy
+from ..churn.distributions import BandwidthMixture
+from ..churn.scenarios import Scenario, periodic_capacity_scenario
+from .configs import ExperimentConfig, SearchConfig, bench_config
+from .runner import RunResult, run_experiment
+
+__all__ = [
+    "ComparisonRun",
+    "run_comparison",
+    "matched_threshold",
+    "comparison_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ComparisonRun:
+    """Paired runs over the identical workload."""
+
+    dlm: RunResult
+    preconfigured: RunResult
+    threshold: float
+    scenario: Scenario
+
+
+def matched_threshold(eta: float, *, samples: int = 200_000, seed: int = 99) -> float:
+    """Capacity threshold putting a fraction 1/(1+η) of baseline arrivals
+    into the super-layer -- the fairest static competitor to DLM(η)."""
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    rng = np.random.default_rng(seed)
+    caps = BandwidthMixture().sample(rng, samples)
+    q = 1.0 - 1.0 / (1.0 + eta)
+    return float(np.quantile(caps, q))
+
+
+def comparison_scenario(config: ExperimentConfig) -> Scenario:
+    """Capacity mean toggling high/low with period = horizon / 8."""
+    return periodic_capacity_scenario(
+        period=config.horizon / 8.0,
+        horizon=config.horizon,
+        start=config.horizon / 8.0,
+        low=1.0,
+        high=4.0,
+    )
+
+
+def run_comparison(config: ExperimentConfig | None = None) -> ComparisonRun:
+    """Execute the paired Figure-7/8 runs."""
+    cfg = config if config is not None else bench_config()
+    if cfg.search is None:
+        cfg = cfg.with_(search=SearchConfig())
+    scenario = comparison_scenario(cfg)
+    threshold = matched_threshold(cfg.eta)
+
+    # Scenario shifts are immutable records, so both runs can share the
+    # same script object; each run schedules its own shift events.
+    dlm = run_experiment(cfg, scenario=scenario)
+    pre = run_experiment(
+        cfg,
+        policy_factory=lambda c: PreconfiguredPolicy(threshold),
+        scenario=scenario,
+    )
+    return ComparisonRun(dlm=dlm, preconfigured=pre, threshold=threshold, scenario=scenario)

@@ -1,0 +1,52 @@
+"""The shared dynamic-network run behind Figures 4, 5 and 6.
+
+One DLM run under the paper's §5 dynamic workload: lifetime means halved
+at t = 300, capacity means doubled at t = 1000 (times scale with the
+horizon when a shorter run is requested).  Figures 4-6 are three views of
+the same run -- ages, capacities, layer sizes -- so the harness executes
+it once and caches nothing: each bench re-runs it to keep measurements
+honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..churn.scenarios import Scenario, figure45_scenario
+from .configs import ExperimentConfig, bench_config
+from .runner import RunResult, run_experiment
+
+__all__ = ["DynamicRun", "run_dynamic_scenario", "scaled_scenario"]
+
+
+@dataclass(frozen=True)
+class DynamicRun:
+    """The run plus the shift times actually used."""
+
+    result: RunResult
+    lifetime_shift_at: float
+    capacity_shift_at: float
+
+
+def scaled_scenario(config: ExperimentConfig) -> Scenario:
+    """The Figure-4/5 scenario with shift times proportional to horizon.
+
+    At the paper's 2000-unit horizon this is exactly t=300 and t=1000.
+    """
+    return figure45_scenario(
+        lifetime_shift_at=0.15 * config.horizon,
+        capacity_shift_at=0.5 * config.horizon,
+    )
+
+
+def run_dynamic_scenario(config: ExperimentConfig | None = None) -> DynamicRun:
+    """Execute the dynamic-network run with DLM."""
+    cfg = config if config is not None else bench_config()
+    scenario = scaled_scenario(cfg)
+    result = run_experiment(cfg, scenario=scenario)
+    shifts = scenario.sorted_shifts()
+    return DynamicRun(
+        result=result,
+        lifetime_shift_at=shifts[0].time,
+        capacity_shift_at=shifts[1].time,
+    )

@@ -1,0 +1,90 @@
+"""Figure 5: average capacity of each layer over time (dynamic network).
+
+Paper shape: "DLM adaptively promotes the peers with large-capacities to
+super-layers and the average capacity value of super-layer is always
+larger than that of leaf-layer" -- and after the t=1000 doubling of new
+peers' capacity means, the super-layer mean tracks the stronger arrivals
+upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..metrics.summary import separation_factor, summarize
+from ..util.ascii_plot import ascii_plot
+from .configs import ExperimentConfig
+from .dynamic_run import DynamicRun, run_dynamic_scenario
+
+__all__ = ["Figure5Result", "run_figure5"]
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Series and shape metrics for Figure 5."""
+
+    run: DynamicRun
+
+    @property
+    def series(self):
+        """The run's recorded series bundle."""
+        return self.run.result.series
+
+    def check_shape(self, *, transient: float | None = None) -> Dict[str, float]:
+        """Shape metrics: separation, ordering, and post-shift uplift.
+
+        The capacity-mean doubling lifts the *leaf* mean instantly (new
+        arrivals are leaves) while the super-layer refreshes only as the
+        strong arrivals satisfy DLM's age gate, so ordering is assessed
+        before the shift and after an adaptation window, with the
+        transient inversion reported separately (EXPERIMENTS.md discusses
+        this deviation from the paper's idealized 'always larger').
+        """
+        cfg = self.run.result.config
+        t0 = transient if transient is not None else 2 * cfg.warmup
+        shift = self.run.capacity_shift_at
+        recovery = shift + 0.6 * (cfg.horizon - shift)
+        sup = self.series["super_mean_capacity"]
+        leaf = self.series["leaf_mean_capacity"]
+        sep_pre = separation_factor(sup, leaf, t_from=t0, t_to=shift)
+        sep_final = separation_factor(sup, leaf, t_from=recovery, t_to=cfg.horizon)
+        s_pre, l_pre = sup.window(t0, shift), leaf.window(t0, shift)
+        s_fin, l_fin = sup.window(recovery, cfg.horizon), leaf.window(
+            recovery, cfg.horizon
+        )
+        s_mid, l_mid = sup.window(shift, recovery), leaf.window(shift, recovery)
+        before = summarize(sup, t_from=max(t0, shift - 0.25 * cfg.horizon), t_to=shift).mean
+        after = summarize(sup, t_from=recovery, t_to=cfg.horizon).mean
+        return {
+            "separation_pre_shift": sep_pre,
+            "separation_final": sep_final,
+            "ordering_violations_steady": int(
+                np.count_nonzero(s_pre <= l_pre) + np.count_nonzero(s_fin <= l_fin)
+            ),
+            "transient_inversions": int(np.count_nonzero(s_mid <= l_mid)),
+            "samples": int(len(s_pre) + len(s_fin)),
+            "super_capacity_uplift": after / before if before else float("inf"),
+        }
+
+    def render(self) -> str:
+        """ASCII rendition of the figure."""
+        sup = self.series["super_mean_capacity"]
+        leaf = self.series["leaf_mean_capacity"]
+        return ascii_plot(
+            {
+                "super-layer": (sup.times, sup.values),
+                "leaf-layer": (leaf.times, leaf.values),
+            },
+            title=(
+                "Figure 5 -- average capacity per layer "
+                f"(capacity mean doubled at t={self.run.capacity_shift_at:.0f})"
+            ),
+        )
+
+
+def run_figure5(config: ExperimentConfig | None = None) -> Figure5Result:
+    """Execute the Figure-5 reproduction."""
+    return Figure5Result(run=run_dynamic_scenario(config))

@@ -1,0 +1,62 @@
+"""Figure 6: layer sizes over time, log scale (dynamic network).
+
+Paper shape: "an almost constant ratio is maintained throughout the
+simulation process, even [as] the network environment is changing" --
+the Y axis is logarithmic, with the leaf-layer size a near-flat line
+about log10(η) above the super-layer size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..metrics.summary import oscillation_amplitude, relative_error, summarize
+from ..util.ascii_plot import ascii_plot
+from .configs import ExperimentConfig
+from .dynamic_run import DynamicRun, run_dynamic_scenario
+
+__all__ = ["Figure6Result", "run_figure6"]
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Series and shape metrics for Figure 6."""
+
+    run: DynamicRun
+
+    @property
+    def series(self):
+        """The run's recorded series bundle."""
+        return self.run.result.series
+
+    def check_shape(self, *, transient: float | None = None) -> Dict[str, float]:
+        """Shape metrics: tail ratio vs η and ratio flatness."""
+        cfg = self.run.result.config
+        t0 = transient if transient is not None else 2 * cfg.warmup
+        ratio = self.series["ratio"]
+        tail = summarize(ratio, t_from=t0, t_to=cfg.horizon)
+        return {
+            "eta_target": cfg.eta,
+            "tail_ratio_mean": tail.mean,
+            "tail_ratio_error": relative_error(tail.mean, cfg.eta),
+            "ratio_swing": oscillation_amplitude(ratio, t_from=t0, t_to=cfg.horizon),
+        }
+
+    def render(self) -> str:
+        """ASCII rendition of the figure (log10 sizes, like the paper)."""
+        sup = self.series["n_super"]
+        leaf = self.series["n_leaf"]
+        return ascii_plot(
+            {
+                "super-layer": (sup.times, sup.values),
+                "leaf-layer": (leaf.times, leaf.values),
+            },
+            title="Figure 6 -- layer sizes (log scale)",
+            logy=True,
+        )
+
+
+def run_figure6(config: ExperimentConfig | None = None) -> Figure6Result:
+    """Execute the Figure-6 reproduction."""
+    return Figure6Result(run=run_dynamic_scenario(config))

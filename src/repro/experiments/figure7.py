@@ -1,0 +1,70 @@
+"""Figure 7: layer size ratio, DLM vs preconfigured, on same success rate.
+
+Paper shape: "DLM maintains the layer size ratio very well, while in the
+preconfigured algorithm, the layer size ratio changes periodically" --
+under a workload whose arrival capacity means toggle periodically, the
+fixed threshold admits a different super-peer fraction each phase, so its
+ratio oscillates with the workload period; DLM's stays pinned near η.
+Both networks serve the same query workload, and their success rates are
+reported to substantiate the "same success rate" framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..metrics.summary import oscillation_amplitude, relative_error, summarize
+from ..util.ascii_plot import ascii_plot
+from .comparison_run import ComparisonRun, run_comparison
+from .configs import ExperimentConfig
+
+__all__ = ["Figure7Result", "run_figure7"]
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Series and shape metrics for Figure 7."""
+
+    run: ComparisonRun
+
+    def check_shape(self, *, transient: float | None = None) -> Dict[str, float]:
+        """Shape metrics: per-policy ratio swing, tail error, success rates."""
+        cfg = self.run.dlm.config
+        t0 = transient if transient is not None else 2 * cfg.warmup
+        dlm_ratio = self.run.dlm.series["ratio"]
+        pre_ratio = self.run.preconfigured.series["ratio"]
+        dlm_q = self.run.dlm.query_stats
+        pre_q = self.run.preconfigured.query_stats
+        return {
+            "eta_target": cfg.eta,
+            "dlm_ratio_mean": summarize(dlm_ratio, t0, cfg.horizon).mean,
+            "pre_ratio_mean": summarize(pre_ratio, t0, cfg.horizon).mean,
+            "dlm_ratio_error": relative_error(
+                summarize(dlm_ratio, t0, cfg.horizon).mean, cfg.eta
+            ),
+            "dlm_ratio_swing": oscillation_amplitude(dlm_ratio, t0, cfg.horizon),
+            "pre_ratio_swing": oscillation_amplitude(pre_ratio, t0, cfg.horizon),
+            "dlm_success_rate": dlm_q.success_rate if dlm_q else float("nan"),
+            "pre_success_rate": pre_q.success_rate if pre_q else float("nan"),
+        }
+
+    def render(self) -> str:
+        """ASCII rendition of the figure."""
+        dlm_ratio = self.run.dlm.series["ratio"]
+        pre_ratio = self.run.preconfigured.series["ratio"]
+        return ascii_plot(
+            {
+                "DLM": (dlm_ratio.times, dlm_ratio.values),
+                "preconfigured": (pre_ratio.times, pre_ratio.values),
+            },
+            title=(
+                "Figure 7 -- layer size ratio under periodic capacity shifts "
+                f"(threshold={self.run.threshold:.0f} KB/s)"
+            ),
+        )
+
+
+def run_figure7(config: ExperimentConfig | None = None) -> Figure7Result:
+    """Execute the Figure-7 reproduction."""
+    return Figure7Result(run=run_comparison(config))

@@ -1,0 +1,107 @@
+"""Experiment registry: paper artifact id -> harness.
+
+Used by the CLI and the benches; ``DESIGN.md`` §3 is the authoritative
+mapping from paper tables/figures to these ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .configs import ExperimentConfig
+from .figure1 import run_figure1
+from .figure23 import run_figure23
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+from .figure8 import run_figure8
+from .table3 import run_table3
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable paper artifact."""
+
+    exp_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[..., object]
+
+
+def _table3_adapter(config: Optional[ExperimentConfig] = None):
+    if config is None:
+        return run_table3()
+    return run_table3(sizes=(config.n,), base=config)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.exp_id: e
+    for e in (
+        Experiment(
+            "figure1",
+            "Figure 1",
+            "Ratio pathologies of pre-configured thresholds vs DLM",
+            run_figure1,
+        ),
+        Experiment(
+            "figure2_3",
+            "Figures 2-3",
+            "Promotion/demotion mechanics on the paper's six-peer example",
+            lambda config=None: run_figure23(),
+        ),
+        Experiment(
+            "figure4",
+            "Figure 4",
+            "Average age per layer under the dynamic lifetime shift",
+            run_figure4,
+        ),
+        Experiment(
+            "figure5",
+            "Figure 5",
+            "Average capacity per layer under the dynamic capacity shift",
+            run_figure5,
+        ),
+        Experiment(
+            "figure6",
+            "Figure 6",
+            "Layer sizes (log scale) -- ratio maintenance",
+            run_figure6,
+        ),
+        Experiment(
+            "figure7",
+            "Figure 7",
+            "Layer size ratio: DLM vs preconfigured, same success rate",
+            run_figure7,
+        ),
+        Experiment(
+            "figure8",
+            "Figure 8",
+            "Average age comparisons: DLM vs preconfigured",
+            run_figure8,
+        ),
+        Experiment(
+            "table3",
+            "Table 3",
+            "Peer Adjustment Overhead analysis across network sizes",
+            _table3_adapter,
+        ),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment; raises ``KeyError`` with the known ids."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def all_ids() -> Tuple[str, ...]:
+    """All registered experiment ids, sorted."""
+    return tuple(sorted(EXPERIMENTS))

@@ -1,0 +1,113 @@
+"""Seed replication: shape metrics as mean ± std over independent runs.
+
+A single seed proves an experiment *can* land on the paper's shape;
+replication shows the shape is a property of the system, not of one
+sample path.  :func:`replicate` re-runs any registered experiment over a
+seed set and aggregates every numeric field its ``check_shape`` reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..util.tables import render_table
+from .configs import ExperimentConfig, bench_config
+
+__all__ = ["MetricStats", "ReplicationResult", "replicate"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricStats:
+    """Mean/std/min/max of one shape metric over the seed set."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std/|mean|); inf for zero mean."""
+        if self.mean == 0:
+            return float("inf") if self.std else 0.0
+        return self.std / abs(self.mean)
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Aggregated shape metrics over seeds."""
+
+    experiment: str
+    seeds: Sequence[int]
+    metrics: Dict[str, MetricStats]
+
+    def render(self) -> str:
+        """ASCII table: one row per metric."""
+        return render_table(
+            ["metric", "mean", "std", "min", "max"],
+            [
+                (m.name, m.mean, m.std, m.minimum, m.maximum)
+                for m in self.metrics.values()
+            ],
+            title=(
+                f"{self.experiment} over {len(self.seeds)} seeds "
+                f"({', '.join(str(s) for s in self.seeds)})"
+            ),
+        )
+
+    def stable(self, name: str, *, max_cv: float = 0.5) -> bool:
+        """Whether a metric's variation across seeds stays below ``max_cv``."""
+        return self.metrics[name].cv <= max_cv
+
+
+def _aggregate(name: str, values: List[float]) -> MetricStats:
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return MetricStats(
+        name=name,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )
+
+
+def replicate(
+    run_fn: Callable[[ExperimentConfig], object],
+    *,
+    seeds: Sequence[int] = (1, 2, 3),
+    config: ExperimentConfig | None = None,
+    experiment: str = "experiment",
+) -> ReplicationResult:
+    """Run ``run_fn(config-with-seed)`` per seed and aggregate shapes.
+
+    ``run_fn`` is any harness returning an object with ``check_shape()``
+    (every ``run_figure*``/``run_table3`` qualifies via a lambda).
+    Boolean metrics aggregate as the fraction of seeds where they held.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    cfg0 = config if config is not None else bench_config()
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = run_fn(cfg0.with_(seed=int(seed)))
+        shape: Mapping[str, object] = result.check_shape()
+        for key, value in shape.items():
+            if isinstance(value, bool):
+                value = 1.0 if value else 0.0
+            if isinstance(value, (int, float)) and math.isfinite(float(value)):
+                collected.setdefault(key, []).append(float(value))
+    metrics = {
+        name: _aggregate(name, values)
+        for name, values in collected.items()
+        if len(values) == len(seeds)
+    }
+    return ReplicationResult(
+        experiment=experiment, seeds=tuple(seeds), metrics=metrics
+    )

@@ -1,0 +1,142 @@
+"""The experiment runner: composition root for one simulated run.
+
+Wires a full system -- engine, overlay, churn, layer policy, samplers,
+optional search plane -- from an :class:`ExperimentConfig`, runs it to
+the horizon, and returns a :class:`RunResult` with every recorded
+artifact.  All figure/table harnesses and examples run through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..churn.distributions import (
+    BandwidthMixture,
+    LogNormalDistribution,
+    ScalableDistribution,
+)
+from ..churn.lifecycle import ChurnDriver
+from ..churn.scenarios import Scenario
+from ..context import SystemContext, build_context
+from ..core.dlm import DLMPolicy
+from ..core.policy import LayerPolicy
+from ..metrics.layerstats import LayerStatsSampler
+from ..metrics.timeseries import SeriesBundle
+from ..search.content import ContentCatalog
+from ..search.flooding import FloodRouter
+from ..search.index import ContentDirectory
+from ..search.workload import QueryWorkload
+from ..sim.processes import PeriodicProcess
+from .configs import ExperimentConfig
+
+__all__ = ["RunResult", "run_experiment", "default_policy_factory"]
+
+PolicyFactory = Callable[[ExperimentConfig], LayerPolicy]
+
+
+@dataclass
+class RunResult:
+    """Everything one run produced."""
+
+    config: ExperimentConfig
+    ctx: SystemContext
+    policy: LayerPolicy
+    driver: ChurnDriver
+    series: SeriesBundle
+    workload: Optional[QueryWorkload] = None
+    directory: Optional[ContentDirectory] = None
+
+    @property
+    def overlay(self):
+        """The final overlay state."""
+        return self.ctx.overlay
+
+    @property
+    def query_stats(self):
+        """Cumulative query snapshot (None without a search plane)."""
+        return self.workload.stats.snapshot if self.workload else None
+
+
+def default_policy_factory(config: ExperimentConfig) -> LayerPolicy:
+    """DLM with the experiment's η/m/k_s (and any explicit overrides)."""
+    return DLMPolicy(config.dlm_config())
+
+
+def build_distributions(
+    config: ExperimentConfig,
+) -> tuple[ScalableDistribution, ScalableDistribution]:
+    """Fresh (lifetime, capacity) distributions for one run."""
+    lifetimes = LogNormalDistribution(
+        median=config.lifetime_median, sigma=config.lifetime_sigma
+    )
+    capacities = BandwidthMixture()
+    return lifetimes, capacities
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    policy_factory: PolicyFactory = default_policy_factory,
+    scenario: Optional[Scenario] = None,
+    run: bool = True,
+) -> RunResult:
+    """Wire and (by default) execute one run to ``config.horizon``.
+
+    With ``run=False`` the caller receives the fully wired system before
+    any event fires -- used by tests that want to single-step.
+    """
+    ctx = build_context(seed=config.seed, m=config.m, k_s=config.k_s)
+    policy = policy_factory(config)
+    policy.bind(ctx)
+
+    PeriodicProcess(
+        ctx.sim,
+        config.maintenance_interval,
+        lambda sim, now: ctx.maintenance.sweep(),
+        kind="maintenance_sweep",
+    )
+
+    lifetimes, capacities = build_distributions(config)
+    driver = ChurnDriver(
+        ctx, policy, lifetimes, capacities, replacement=True, scenario=scenario
+    )
+    driver.populate(config.n, warmup=config.warmup)
+
+    sampler = LayerStatsSampler(
+        ctx.sim,
+        ctx.overlay,
+        interval=config.sample_interval,
+        start=config.sample_interval,
+    )
+
+    workload = None
+    directory = None
+    if config.search is not None:
+        sc = config.search
+        catalog = ContentCatalog(n_objects=sc.n_objects, s=sc.zipf_s)
+        directory = ContentDirectory(
+            ctx.overlay,
+            catalog,
+            ctx.sim.rng.get("content"),
+            files_per_peer=sc.files_per_peer,
+        )
+        router = FloodRouter(
+            ctx.overlay, directory, ttl=sc.ttl, ledger=ctx.messages
+        )
+        workload = QueryWorkload(
+            ctx.sim, ctx.overlay, catalog, router, rate=sc.query_rate
+        )
+
+    result = RunResult(
+        config=config,
+        ctx=ctx,
+        policy=policy,
+        driver=driver,
+        series=sampler.bundle,
+        workload=workload,
+        directory=directory,
+    )
+    if run:
+        ctx.sim.run(until=config.horizon)
+    return result

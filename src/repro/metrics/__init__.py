@@ -1,0 +1,29 @@
+"""Measurement: time series, per-layer samplers, overhead, summaries."""
+
+from .layerstats import SERIES_NAMES, LayerStatsSampler
+from .overhead import OverheadCounters, OverheadLedger, Table3Row
+from .summary import (
+    SeriesSummary,
+    oscillation_amplitude,
+    relative_error,
+    separation_factor,
+    summarize,
+    time_to_converge,
+)
+from .timeseries import SeriesBundle, TimeSeries
+
+__all__ = [
+    "SERIES_NAMES",
+    "LayerStatsSampler",
+    "OverheadCounters",
+    "OverheadLedger",
+    "Table3Row",
+    "SeriesSummary",
+    "oscillation_amplitude",
+    "relative_error",
+    "separation_factor",
+    "summarize",
+    "time_to_converge",
+    "SeriesBundle",
+    "TimeSeries",
+]

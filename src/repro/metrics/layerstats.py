@@ -1,0 +1,85 @@
+"""Per-layer statistics sampling (the data behind Figures 4-8).
+
+A :class:`LayerStatsSampler` walks the overlay every ``interval`` time
+units and records, per layer: size, mean age, mean capacity -- plus the
+layer-size ratio and the super-layer's mean leaf-neighbor count (the
+quantity DLM's µ estimator observes).  Series names are stable strings so
+the figure harnesses can pull them out by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..overlay.topology import Overlay
+from ..sim.events import EventKind
+from ..sim.processes import PeriodicProcess
+from ..sim.scheduler import Simulator
+from .timeseries import SeriesBundle
+
+__all__ = ["LayerStatsSampler", "SERIES_NAMES"]
+
+#: All series a sampler produces.
+SERIES_NAMES = (
+    "n",
+    "n_super",
+    "n_leaf",
+    "ratio",
+    "super_mean_age",
+    "leaf_mean_age",
+    "super_mean_capacity",
+    "leaf_mean_capacity",
+    "super_mean_lnn",
+)
+
+
+class LayerStatsSampler:
+    """Periodic whole-overlay statistics sampler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        overlay: Overlay,
+        *,
+        interval: float = 10.0,
+        bundle: Optional[SeriesBundle] = None,
+        start: Optional[float] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.bundle = bundle if bundle is not None else SeriesBundle()
+        self._process = PeriodicProcess(
+            sim, interval, self.sample, start=start, kind=EventKind.METRICS_SAMPLE
+        )
+
+    def stop(self) -> None:
+        """Cancel future samples."""
+        self._process.stop()
+
+    def sample(self, sim: Simulator, now: float) -> None:
+        """Take one sample at ``now`` (also callable directly in tests)."""
+        ov = self.overlay
+        b = self.bundle
+        sup_age = sup_cap = sup_lnn = 0.0
+        leaf_age = leaf_cap = 0.0
+        n_sup = 0
+        n_leaf = 0
+        for peer in ov.peers():
+            age = now - peer.join_time
+            if peer.is_super:
+                n_sup += 1
+                sup_age += age
+                sup_cap += peer.capacity
+                sup_lnn += len(peer.leaf_neighbors)
+            else:
+                n_leaf += 1
+                leaf_age += age
+                leaf_cap += peer.capacity
+        b.record("n", now, n_sup + n_leaf)
+        b.record("n_super", now, n_sup)
+        b.record("n_leaf", now, n_leaf)
+        b.record("ratio", now, n_leaf / n_sup if n_sup else float("inf"))
+        b.record("super_mean_age", now, sup_age / n_sup if n_sup else 0.0)
+        b.record("leaf_mean_age", now, leaf_age / n_leaf if n_leaf else 0.0)
+        b.record("super_mean_capacity", now, sup_cap / n_sup if n_sup else 0.0)
+        b.record("leaf_mean_capacity", now, leaf_cap / n_leaf if n_leaf else 0.0)
+        b.record("super_mean_lnn", now, sup_lnn / n_sup if n_sup else 0.0)

@@ -1,0 +1,100 @@
+"""Time-series recording.
+
+Experiments record sampled series (layer sizes, mean ages, ...) as
+append-only ``(time, value)`` sequences with NumPy views for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "SeriesBundle"]
+
+
+class TimeSeries:
+    """Append-only sampled series with vectorized reads."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        """Record one sample; times must be non-decreasing."""
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                f"non-monotone sample time {t} after {self._times[-1]} in {self.name!r}"
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an array."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array."""
+        return np.asarray(self._values)
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent sample; raises ``IndexError`` when empty."""
+        if not self._times:
+            raise IndexError(f"series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def window(self, t_from: float, t_to: float) -> np.ndarray:
+        """Values sampled in ``[t_from, t_to]``."""
+        times = self.times
+        mask = (times >= t_from) & (times <= t_to)
+        return self.values[mask]
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean of the last ``fraction`` of samples (steady-state read)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        k = max(1, int(len(self._values) * fraction))
+        return float(np.mean(self._values[-k:]))
+
+
+class SeriesBundle:
+    """A named collection of series recorded by one run."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Get-or-create the series called ``name``."""
+        s = self._series.get(name)
+        if s is None:
+            s = TimeSeries(name)
+            self._series[name] = s
+        return s
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Append to the series called ``name``."""
+        self.series(name).append(t, value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self._series[name]
+
+    def names(self) -> Tuple[str, ...]:
+        """All recorded series names, sorted."""
+        return tuple(sorted(self._series))
+
+    def __len__(self) -> int:
+        return len(self._series)

@@ -1,0 +1,25 @@
+"""Two-layer super-peer overlay substrate.
+
+Peers, roles, the layered adjacency with its structural invariants,
+join/bootstrap procedures, degree maintenance, and networkx export.
+"""
+
+from .bootstrap import JoinProcedure
+from .graph_export import backbone_graph, to_networkx
+from .maintenance import Maintenance, RepairReport
+from .peer import Peer
+from .roles import Role
+from .topology import ConnectionListener, Overlay, OverlayError
+
+__all__ = [
+    "JoinProcedure",
+    "backbone_graph",
+    "to_networkx",
+    "Maintenance",
+    "RepairReport",
+    "Peer",
+    "Role",
+    "ConnectionListener",
+    "Overlay",
+    "OverlayError",
+]

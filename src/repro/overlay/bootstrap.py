@@ -1,0 +1,123 @@
+"""Bootstrap and join procedures.
+
+New peers "randomly select active peers as neighbors based on the
+bootstrapping and joining mechanisms currently used" (paper §3), and under
+DLM "the new peer is always assigned to leaf layer first" (§5).  The only
+exception is the cold start: while the network has no super-peers at all,
+joiners seed the super-layer directly so that subsequent leaves have
+somewhere to attach.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+import numpy as np
+
+from .peer import Peer
+from .roles import Role
+from .topology import Overlay
+
+__all__ = ["JoinProcedure"]
+
+
+class JoinProcedure:
+    """Creates peers and wires them into the overlay.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay to mutate.
+    m:
+        Number of super-peer links a joining leaf establishes (Table 2:
+        ``m = 2``).
+    rng:
+        Stream for random neighbor selection.
+    seed_supers:
+        Cold-start threshold: while ``n_super < seed_supers`` joiners
+        become super-peers directly (default 1 -- only the very first
+        peer).
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        m: int,
+        rng: np.random.Generator,
+        *,
+        k_s: int = 3,
+        seed_supers: int = 1,
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if k_s < 1:
+            raise ValueError(f"k_s must be >= 1, got {k_s}")
+        self.overlay = overlay
+        self.m = m
+        self.k_s = k_s
+        self.rng = rng
+        self.seed_supers = seed_supers
+        self._ids = itertools.count()
+
+    def next_pid(self) -> int:
+        """Allocate a fresh peer id."""
+        return next(self._ids)
+
+    def join(
+        self,
+        now: float,
+        capacity: float,
+        lifetime: float,
+        *,
+        pid: Optional[int] = None,
+        role: Optional[Role] = None,
+        eligible: bool = True,
+    ) -> Peer:
+        """Create a peer at time ``now`` and connect it.
+
+        ``role`` lets a layer policy choose the join layer (DLM always
+        joins peers as leaves; the preconfigured baseline admits
+        over-threshold peers straight into the super-layer).  With
+        ``role=None`` the peer joins as a leaf, except during cold start
+        (see ``seed_supers``) when it seeds the super-layer.
+
+        A joining leaf makes ``m`` connections to random super-peers; a
+        joining super makes ``k_s`` backbone connections.
+        """
+        if pid is None:
+            pid = self.next_pid()
+        if role is None:
+            cold_start = self.overlay.n_super < self.seed_supers
+            role = Role.SUPER if cold_start else Role.LEAF
+        peer = Peer(
+            pid=pid,
+            role=role,
+            capacity=capacity,
+            join_time=now,
+            lifetime=lifetime,
+            role_change_time=now,
+            eligible=eligible,
+        )
+        self.overlay.add_peer(peer)
+        if role is Role.SUPER:
+            for sid in self.overlay.random_supers(self.rng, self.k_s, exclude=(pid,)):
+                self.overlay.connect(pid, sid)
+        else:
+            self.connect_leaf(pid, self.m)
+        return peer
+
+    def connect_leaf(self, pid: int, want: int) -> List[int]:
+        """Give leaf ``pid`` up to ``want`` additional random super links.
+
+        Used both at join time (``want = m``) and when maintenance
+        restores links lost to super-peer deaths/demotions.  Returns the
+        super-peers actually connected.
+        """
+        peer = self.overlay.peer(pid)
+        exclude = set(peer.super_neighbors)
+        exclude.add(pid)
+        chosen = self.overlay.random_supers(self.rng, want, exclude=exclude)
+        for sid in chosen:
+            self.overlay.connect(pid, sid)
+        return chosen

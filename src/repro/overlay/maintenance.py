@@ -1,0 +1,149 @@
+"""Neighbor maintenance.
+
+Keeps the overlay's degree targets after disruptive events:
+
+* a leaf holds ``m`` links into the super-layer (Table 2: ``m = 2``);
+* a super-peer maintains roughly ``k_s`` backbone links (Table 2:
+  ``k_s = 3``);
+* when a super-peer dies or is demoted, its orphaned leaves reconnect to
+  replacement super-peers -- for a demotion each orphan creates exactly
+  one new connection, the unit of Peer Adjustment Overhead in §6.
+
+All repairs go through :class:`~repro.overlay.bootstrap.JoinProcedure`'s
+random selection so repaired links are statistically indistinguishable
+from join-time links (the randomness assumption §3 relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .bootstrap import JoinProcedure
+from .topology import Overlay
+
+__all__ = ["Maintenance", "RepairReport"]
+
+
+@dataclass(slots=True)
+class RepairReport:
+    """What a repair pass did (consumed by the overhead ledger)."""
+
+    leaf_reconnections: int = 0
+    super_reconnections: int = 0
+
+    def merge(self, other: "RepairReport") -> "RepairReport":
+        """Accumulate another report into this one; returns self."""
+        self.leaf_reconnections += other.leaf_reconnections
+        self.super_reconnections += other.super_reconnections
+        return self
+
+
+class Maintenance:
+    """Degree-target repair for the two-layer overlay."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        join: JoinProcedure,
+        *,
+        m: int,
+        k_s: int,
+    ) -> None:
+        self.overlay = overlay
+        self.join = join
+        self.m = m
+        self.k_s = k_s
+
+    # -- leaf side -------------------------------------------------------
+    def ensure_leaf_links(self, pid: int) -> int:
+        """Top a leaf's super links back up to ``m``; returns links added."""
+        peer = self.overlay.peer(pid)
+        deficit = self.m - len(peer.super_neighbors)
+        if deficit <= 0:
+            return 0
+        return len(self.join.connect_leaf(pid, deficit))
+
+    def reconnect_orphans(
+        self, orphans: Iterable[int], *, links_each: int = 1
+    ) -> RepairReport:
+        """Reconnect leaves that lost a super-peer.
+
+        ``links_each = 1`` matches the paper's demotion accounting (each
+        disconnected leaf makes one new connection); deaths use the same
+        single-link repair since only one link was lost.
+        """
+        report = RepairReport()
+        for lid in orphans:
+            if lid not in self.overlay:
+                continue
+            peer = self.overlay.peer(lid)
+            if not peer.is_leaf:
+                continue
+            want = min(links_each, max(0, self.m - len(peer.super_neighbors)))
+            if want:
+                report.leaf_reconnections += len(self.join.connect_leaf(lid, want))
+        return report
+
+    # -- super side --------------------------------------------------------
+    def ensure_super_links(self, pid: int) -> int:
+        """Top a super's backbone links back up to ``k_s``; returns links added."""
+        peer = self.overlay.peer(pid)
+        if not peer.is_super:
+            return 0
+        deficit = self.k_s - len(peer.super_neighbors)
+        if deficit <= 0:
+            return 0
+        exclude = set(peer.super_neighbors)
+        exclude.add(pid)
+        added = 0
+        for sid in self.overlay.random_supers(self.join.rng, deficit, exclude=exclude):
+            if self.overlay.connect(pid, sid):
+                added += 1
+        return added
+
+    def repair_backbone(self, former_supers: Iterable[int]) -> RepairReport:
+        """Restore backbone degree of supers that lost a super neighbor."""
+        report = RepairReport()
+        for sid in former_supers:
+            if sid in self.overlay and self.overlay.peer(sid).is_super:
+                report.super_reconnections += self.ensure_super_links(sid)
+        return report
+
+    # -- composite events -------------------------------------------------------
+    def after_super_death(
+        self, orphans: List[int], former_supers: List[int]
+    ) -> RepairReport:
+        """Repairs after a super-peer leaves the network."""
+        report = self.reconnect_orphans(orphans)
+        report.merge(self.repair_backbone(former_supers))
+        return report
+
+    def after_demotion(self, demoted: int, orphans: List[int]) -> RepairReport:
+        """Repairs after a demotion (Figure 3): orphans reconnect once each;
+        the demoted peer itself is topped up to ``m`` super links."""
+        report = self.reconnect_orphans(orphans)
+        self.ensure_leaf_links(demoted)
+        return report
+
+    def after_promotion(self, promoted: int) -> RepairReport:
+        """Repairs after a promotion (Figure 2): the new super-peer fills
+        its backbone degree to ``k_s``."""
+        report = RepairReport()
+        report.super_reconnections += self.ensure_super_links(promoted)
+        return report
+
+    def sweep(self) -> RepairReport:
+        """Top up every peer's degree targets.
+
+        A repair can fail transiently (e.g. orphans of the very last
+        super-peer have nothing to reconnect to until the next join seeds
+        the layer); the periodic sweep retries those, modeling the
+        connection-maintenance loop every real client runs.
+        """
+        report = RepairReport()
+        for pid in list(self.overlay.leaf_ids):
+            report.leaf_reconnections += self.ensure_leaf_links(pid)
+        for pid in list(self.overlay.super_ids):
+            report.super_reconnections += self.ensure_super_links(pid)
+        return report

@@ -1,0 +1,112 @@
+"""The peer model.
+
+A peer carries the two DLM metrics (paper §4, Definitions 1 and 2):
+
+* **capacity** -- its ability to process and relay queries, fixed for the
+  whole session and known at join time.  The paper's simulation uses
+  bandwidth as the single capacity metric; the weighted multi-metric
+  combiner lives in :mod:`repro.core.capacity`.
+* **age** -- time since the peer joined, ``now - join_time``.  Age is the
+  observable proxy for the unobservable *lifetime* (the peer's total
+  session length): the longer a peer has lived, the longer it is expected
+  to keep living.
+
+``death_time = join_time + lifetime`` is sampled by the churn substrate at
+join; the peer itself never inspects it (that would be cheating -- DLM only
+sees ages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from .roles import Role
+
+__all__ = ["Peer"]
+
+
+@dataclass(slots=True)
+class Peer:
+    """State of one participant in the overlay.
+
+    Attributes
+    ----------
+    pid:
+        Unique integer id, never reused within a run.
+    role:
+        Current layer (:class:`Role`).
+    capacity:
+        Session-constant capacity value (Definition 1).
+    join_time:
+        Simulated time the peer joined (for age computation).
+    lifetime:
+        Sampled total session length; ``join_time + lifetime`` is when the
+        churn process removes the peer.  Hidden from the DLM algorithm.
+    super_neighbors / leaf_neighbors:
+        Adjacency, maintained by :class:`~repro.overlay.topology.Overlay`.
+        A leaf's ``leaf_neighbors`` is always empty.
+    contacted_supers:
+        For a leaf, every super-peer it has connected to since joining --
+        the paper's related set ``G(l)`` (§4 Phase 2).  Cleared on role
+        changes (a fresh super builds ``G`` from its leaves instead).
+    role_change_time:
+        When the peer last changed layer (join counts); drives the DLM
+        anti-flapping cooldown.
+    eligible:
+        Whether the peer meets the super-peer capability requirements
+        the Gnutella Ultrapeer proposal lists besides capacity -- "not
+        fire walled, suitable operating system" (paper §2).  Ineligible
+        peers are never promoted (cold-start seeding excepted: an
+        all-ineligible bootstrap population must still form a network).
+    """
+
+    pid: int
+    role: Role
+    capacity: float
+    join_time: float
+    lifetime: float
+    super_neighbors: Set[int] = field(default_factory=set)
+    leaf_neighbors: Set[int] = field(default_factory=set)
+    contacted_supers: Set[int] = field(default_factory=set)
+    role_change_time: float = 0.0
+    eligible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.lifetime <= 0:
+            raise ValueError(f"lifetime must be > 0, got {self.lifetime}")
+
+    # -- derived quantities --------------------------------------------------
+    def age(self, now: float) -> float:
+        """Definition 2: time since join, up to ``now``."""
+        if now < self.join_time:
+            raise ValueError(f"now={now} precedes join_time={self.join_time}")
+        return now - self.join_time
+
+    @property
+    def death_time(self) -> float:
+        """When the churn process will remove this peer."""
+        return self.join_time + self.lifetime
+
+    @property
+    def is_super(self) -> bool:
+        """Whether the peer is currently in the super-layer."""
+        return self.role is Role.SUPER
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the peer is currently in the leaf-layer."""
+        return self.role is Role.LEAF
+
+    @property
+    def degree(self) -> int:
+        """Total number of overlay links."""
+        return len(self.super_neighbors) + len(self.leaf_neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Peer(pid={self.pid}, role={self.role}, capacity={self.capacity:.1f}, "
+            f"deg={self.degree})"
+        )

@@ -1,0 +1,27 @@
+"""Peer roles.
+
+A super-peer overlay has exactly two layers (paper §3): the *super-layer*
+whose members relay queries and index their leaves' content, and the
+*leaf-layer* whose members hold ``m`` links into the super-layer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Role"]
+
+
+class Role(enum.Enum):
+    """Layer membership of a peer."""
+
+    SUPER = "super"
+    LEAF = "leaf"
+
+    @property
+    def other(self) -> "Role":
+        """The opposite layer (promotion/demotion target)."""
+        return Role.LEAF if self is Role.SUPER else Role.SUPER
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,390 @@
+"""The two-layer overlay graph.
+
+Maintains the peer registry, the super/leaf partition, and the adjacency
+between and within layers, enforcing the structural rules of a super-peer
+network (paper §3):
+
+* leaf--super links: each leaf holds links to super-peers only;
+* super--super links: the super-layer backbone along which queries flood;
+* leaf--leaf links never exist.
+
+Role transitions (the mechanics of Figures 2 and 3) are implemented here:
+
+* :meth:`promote` -- the leaf keeps its existing connections to other
+  super-peers, which simply become backbone links (Figure 2).
+* :meth:`demote` -- the super-peer keeps only ``m`` of its super links
+  (which become its leaf->super links) and drops all leaf links; the
+  orphaned leaves are returned so the maintenance layer can reconnect them
+  (Figure 3).  Those reconnects are the Peer Adjustment Overhead of §6.
+
+Observers can subscribe to four event streams, which together are
+sufficient to maintain any derived state (the search index relies on
+this):
+
+* **link events** -- ``fn(a, b, created)`` on every link creation/drop,
+  fired while both endpoints are still registered with their
+  at-event-time roles;
+* **connection listeners** -- creation-only convenience stream (DLM's
+  event-driven information exchange hangs off it);
+* **membership events** -- ``fn(peer, joined)``; the leave notification
+  fires after the peer's links have been dropped but carries the full
+  :class:`Peer` object;
+* **role events** -- ``fn(peer, old_role)`` after a promotion/demotion
+  has re-filed the peer's links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..util.indexed_set import IndexedSet
+from .peer import Peer
+from .roles import Role
+
+__all__ = [
+    "Overlay",
+    "OverlayError",
+    "ConnectionListener",
+    "LinkListener",
+    "MembershipListener",
+    "RoleListener",
+]
+
+ConnectionListener = Callable[[int, int], None]
+LinkListener = Callable[[int, int, bool], None]
+MembershipListener = Callable[[Peer, bool], None]
+RoleListener = Callable[[Peer, Role], None]
+
+
+class OverlayError(RuntimeError):
+    """Structural violation of the two-layer overlay rules."""
+
+
+class Overlay:
+    """Registry + adjacency for a two-layer super-peer network."""
+
+    def __init__(self) -> None:
+        self._peers: Dict[int, Peer] = {}
+        self.super_ids = IndexedSet()
+        self.leaf_ids = IndexedSet()
+        self._connection_listeners: List[ConnectionListener] = []
+        self._link_listeners: List[LinkListener] = []
+        self._membership_listeners: List[MembershipListener] = []
+        self._role_listeners: List[RoleListener] = []
+        # Cumulative structural-churn counters (consumed by metrics).
+        self.total_joins = 0
+        self.total_leaves = 0
+        self.total_promotions = 0
+        self.total_demotions = 0
+        self.total_connections_created = 0
+
+    # -- registry --------------------------------------------------------
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    @property
+    def n(self) -> int:
+        """Total number of peers."""
+        return len(self._peers)
+
+    @property
+    def n_super(self) -> int:
+        """Size of the super-layer."""
+        return len(self.super_ids)
+
+    @property
+    def n_leaf(self) -> int:
+        """Size of the leaf-layer."""
+        return len(self.leaf_ids)
+
+    def layer_size_ratio(self) -> float:
+        """η = n_leaf / n_super (paper §3); ``inf`` with no super-peers."""
+        if self.n_super == 0:
+            return float("inf")
+        return self.n_leaf / self.n_super
+
+    def peer(self, pid: int) -> Peer:
+        """Look up a peer; ``KeyError`` if absent."""
+        return self._peers[pid]
+
+    def get(self, pid: int) -> Optional[Peer]:
+        """Look up a peer or ``None``."""
+        return self._peers.get(pid)
+
+    def peers(self) -> Iterable[Peer]:
+        """All peers (no order guarantee)."""
+        return self._peers.values()
+
+    # -- listeners ---------------------------------------------------------
+    def add_connection_listener(self, fn: ConnectionListener) -> None:
+        """``fn(a, b)`` fires after every new link is created."""
+        self._connection_listeners.append(fn)
+
+    def add_link_listener(self, fn: LinkListener) -> None:
+        """``fn(a, b, created)`` fires on every link creation and drop."""
+        self._link_listeners.append(fn)
+
+    def add_membership_listener(self, fn: MembershipListener) -> None:
+        """``fn(peer, joined)`` fires on every join and leave."""
+        self._membership_listeners.append(fn)
+
+    def add_role_listener(self, fn: RoleListener) -> None:
+        """``fn(peer, old_role)`` fires after every promotion/demotion."""
+        self._role_listeners.append(fn)
+
+    def _notify_link(self, a: int, b: int, created: bool) -> None:
+        for fn in self._link_listeners:
+            fn(a, b, created)
+        if created:
+            for fn in self._connection_listeners:
+                fn(a, b)
+
+    # -- membership --------------------------------------------------------
+    def add_peer(self, peer: Peer) -> None:
+        """Insert an unconnected peer into its layer."""
+        if peer.pid in self._peers:
+            raise OverlayError(f"duplicate pid {peer.pid}")
+        if peer.super_neighbors or peer.leaf_neighbors:
+            raise OverlayError("peer must be added unconnected")
+        self._peers[peer.pid] = peer
+        (self.super_ids if peer.is_super else self.leaf_ids).add(peer.pid)
+        self.total_joins += 1
+        for fn in self._membership_listeners:
+            fn(peer, True)
+
+    def remove_peer(self, pid: int) -> Tuple[List[int], List[int]]:
+        """Remove a peer and sever all its links.
+
+        Returns ``(orphaned_leaves, former_super_neighbors)``: leaves that
+        lost this peer as one of their supers (empty unless the peer was a
+        super), and the super-peers it was linked to.  The maintenance
+        layer uses these to restore the orphans' link counts.
+        """
+        peer = self._peers.get(pid)
+        if peer is None:
+            raise OverlayError(f"unknown pid {pid}")
+        former_supers = list(peer.super_neighbors)
+        orphans = list(peer.leaf_neighbors)
+        # Notify drops while both endpoints are still registered.
+        for other in former_supers:
+            self._notify_link(pid, other, False)
+        for other in orphans:
+            self._notify_link(pid, other, False)
+        # Sever.
+        for sid in former_supers:
+            other = self._peers[sid]
+            if peer.is_super:
+                other.super_neighbors.discard(pid)
+            else:
+                other.leaf_neighbors.discard(pid)
+        for lid in orphans:
+            self._peers[lid].super_neighbors.discard(pid)
+        peer.super_neighbors.clear()
+        peer.leaf_neighbors.clear()
+        del self._peers[pid]
+        (self.super_ids if peer.is_super else self.leaf_ids).discard(pid)
+        self.total_leaves += 1
+        for fn in self._membership_listeners:
+            fn(peer, False)
+        return orphans, former_supers
+
+    # -- links --------------------------------------------------------------
+    def connected(self, a: int, b: int) -> bool:
+        """Whether a link exists between peers ``a`` and ``b``."""
+        pa = self._peers[a]
+        return b in pa.super_neighbors or b in pa.leaf_neighbors
+
+    def connect(self, a: int, b: int) -> bool:
+        """Create a link; returns False if it already existed.
+
+        Valid link types are leaf--super and super--super; leaf--leaf and
+        self-links raise :class:`OverlayError`.
+        """
+        if a == b:
+            raise OverlayError(f"self-link on pid {a}")
+        pa, pb = self._peers[a], self._peers[b]
+        if pa.is_leaf and pb.is_leaf:
+            raise OverlayError(f"leaf-leaf link {a}--{b} is not allowed")
+        if self.connected(a, b):
+            return False
+        self._attach(pa, pb)
+        self._attach(pb, pa)
+        if pa.is_leaf:
+            pa.contacted_supers.add(b)
+        if pb.is_leaf:
+            pb.contacted_supers.add(a)
+        self.total_connections_created += 1
+        self._notify_link(a, b, True)
+        return True
+
+    @staticmethod
+    def _attach(me: Peer, other: Peer) -> None:
+        if other.is_super:
+            me.super_neighbors.add(other.pid)
+        else:
+            me.leaf_neighbors.add(other.pid)
+
+    def disconnect(self, a: int, b: int) -> bool:
+        """Remove the link between ``a`` and ``b``; False if absent."""
+        if not self.connected(a, b):
+            return False
+        self._notify_link(a, b, False)
+        pa, pb = self._peers[a], self._peers[b]
+        pa.super_neighbors.discard(b)
+        pa.leaf_neighbors.discard(b)
+        pb.super_neighbors.discard(a)
+        pb.leaf_neighbors.discard(a)
+        return True
+
+    # -- role transitions ----------------------------------------------------
+    def promote(self, pid: int) -> None:
+        """Leaf -> super (Figure 2).
+
+        The peer keeps its current links to super-peers; on both endpoints
+        they are re-filed from leaf--super to super--super links.  Its
+        leaf-side related-set bookkeeping is cleared (a super-peer's ``G``
+        is its leaf neighbors, which start empty).
+        """
+        peer = self._peers[pid]
+        if peer.is_super:
+            raise OverlayError(f"pid {pid} is already a super-peer")
+        peer.role = Role.SUPER
+        self.leaf_ids.discard(pid)
+        self.super_ids.add(pid)
+        for sid in peer.super_neighbors:
+            other = self._peers[sid]
+            other.leaf_neighbors.discard(pid)
+            other.super_neighbors.add(pid)
+        peer.contacted_supers.clear()
+        self.total_promotions += 1
+        for fn in self._role_listeners:
+            fn(peer, Role.LEAF)
+
+    def demote(self, pid: int, m: int, rng: np.random.Generator) -> List[int]:
+        """Super -> leaf (Figure 3).
+
+        Keeps ``m`` randomly chosen super links (they become the new
+        leaf's super connections), drops the rest, and drops all leaf
+        links.  Returns the orphaned leaf pids; each must be reconnected
+        to one replacement super-peer by the maintenance layer (this is
+        the PAO of §6: one new connection each, versus ``m`` for a fresh
+        join).
+        """
+        peer = self._peers[pid]
+        if peer.is_leaf:
+            raise OverlayError(f"pid {pid} is already a leaf-peer")
+
+        supers = list(peer.super_neighbors)
+        if len(supers) > m:
+            kept_idx = rng.choice(len(supers), size=m, replace=False)
+            kept = {supers[int(i)] for i in kept_idx}
+        else:
+            kept = set(supers)
+
+        # Drop surplus super links and all leaf links (notifying while the
+        # peer is still a super-peer, so observers see the true link types).
+        orphans = list(peer.leaf_neighbors)
+        for sid in supers:
+            if sid not in kept:
+                self._notify_link(pid, sid, False)
+                self._peers[sid].super_neighbors.discard(pid)
+                peer.super_neighbors.discard(sid)
+        for lid in orphans:
+            self._notify_link(pid, lid, False)
+            self._peers[lid].super_neighbors.discard(pid)
+        peer.leaf_neighbors.clear()
+
+        peer.role = Role.LEAF
+        self.super_ids.discard(pid)
+        self.leaf_ids.add(pid)
+        # Re-file the retained links on the other endpoints.
+        for sid in kept:
+            other = self._peers[sid]
+            other.super_neighbors.discard(pid)
+            other.leaf_neighbors.add(pid)
+        peer.contacted_supers = set(kept)
+        self.total_demotions += 1
+        for fn in self._role_listeners:
+            fn(peer, Role.SUPER)
+        return orphans
+
+    # -- sampling -------------------------------------------------------------
+    def random_supers(
+        self, rng: np.random.Generator, k: int, exclude: Iterable[int] = ()
+    ) -> List[int]:
+        """Up to ``k`` distinct random super-peers, avoiding ``exclude``.
+
+        Models the paper's assumption that "new peers randomly select
+        active peers as neighbors based on the bootstrapping and joining
+        mechanisms currently used" (§3).
+        """
+        excl = set(exclude)
+        if not excl:
+            return self.super_ids.sample(rng, k)
+        # Rejection-sample with a bounded number of attempts, then fall
+        # back to an exact filtered draw.
+        out: List[int] = []
+        seen = set(excl)
+        attempts = 0
+        limit = 16 * max(k, 1)
+        while len(out) < k and attempts < limit and len(self.super_ids) > 0:
+            x = self.super_ids.choice(rng)
+            attempts += 1
+            if x not in seen:
+                seen.add(x)
+                out.append(x)
+        if len(out) < k:
+            pool = [s for s in self.super_ids if s not in excl and s not in out]
+            need = k - len(out)
+            if pool:
+                idx = rng.choice(len(pool), size=min(need, len(pool)), replace=False)
+                out.extend(pool[int(i)] for i in np.atleast_1d(idx))
+        return out
+
+    # -- invariants -------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the structural rules; raises :class:`OverlayError`.
+
+        Intended for tests and debugging -- O(edges).
+        """
+        seen_supers = set(self.super_ids)
+        seen_leaves = set(self.leaf_ids)
+        if seen_supers & seen_leaves:
+            raise OverlayError("a pid is in both layers")
+        if seen_supers | seen_leaves != set(self._peers):
+            raise OverlayError("layer registries out of sync with peer registry")
+        for peer in self._peers.values():
+            if peer.is_super != (peer.pid in seen_supers):
+                raise OverlayError(f"role mismatch for pid {peer.pid}")
+            if peer.is_leaf and peer.leaf_neighbors:
+                raise OverlayError(f"leaf {peer.pid} has leaf neighbors")
+            for sid in peer.super_neighbors:
+                other = self._peers.get(sid)
+                if other is None or not other.is_super:
+                    raise OverlayError(
+                        f"pid {peer.pid} lists non-super {sid} as super neighbor"
+                    )
+                back = (
+                    other.super_neighbors if peer.is_super else other.leaf_neighbors
+                )
+                if peer.pid not in back:
+                    raise OverlayError(f"asymmetric link {peer.pid}--{sid}")
+            for lid in peer.leaf_neighbors:
+                other = self._peers.get(lid)
+                if other is None or not other.is_leaf:
+                    raise OverlayError(
+                        f"pid {peer.pid} lists non-leaf {lid} as leaf neighbor"
+                    )
+                if peer.pid not in other.super_neighbors:
+                    raise OverlayError(f"asymmetric link {peer.pid}--{lid}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Overlay(n={self.n}, supers={self.n_super}, leaves={self.n_leaf}, "
+            f"eta={self.layer_size_ratio():.2f})"
+        )

@@ -1,0 +1,43 @@
+"""Protocol substrate: Table-1 message types, accounting, info exchange."""
+
+from .accounting import LedgerSnapshot, MessageLedger
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+    default_latency_model,
+)
+from .messages import (
+    DLM_MESSAGE_TYPES,
+    SEARCH_MESSAGE_TYPES,
+    Message,
+    NeighNumRequest,
+    NeighNumResponse,
+    QueryHitMessage,
+    QueryMessage,
+    ValueRequest,
+    ValueResponse,
+)
+from .transport import MESSAGES_PER_NEW_LINK, InfoExchange
+
+__all__ = [
+    "LedgerSnapshot",
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "UniformLatency",
+    "default_latency_model",
+    "MessageLedger",
+    "DLM_MESSAGE_TYPES",
+    "SEARCH_MESSAGE_TYPES",
+    "Message",
+    "NeighNumRequest",
+    "NeighNumResponse",
+    "QueryHitMessage",
+    "QueryMessage",
+    "ValueRequest",
+    "ValueResponse",
+    "MESSAGES_PER_NEW_LINK",
+    "InfoExchange",
+]

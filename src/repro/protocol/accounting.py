@@ -1,0 +1,147 @@
+"""Message accounting.
+
+§6 of the paper argues DLM's information-exchange overhead is negligible
+relative to search traffic, partly because the messages "may be
+piggybacked in other messages available".  The ledger therefore tracks,
+per message type: messages sent, messages piggybacked (charged zero
+standalone bytes beyond their value fields), and bytes.
+
+The counters are cumulative; :meth:`window` takes a checkpoint so callers
+can compute per-interval rates (used by the overhead benches).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Type
+
+from .messages import (
+    DLM_MESSAGE_TYPES,
+    SEARCH_MESSAGE_TYPES,
+    Message,
+    VALUE_BYTES,
+)
+
+__all__ = ["MessageLedger", "LedgerSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerSnapshot:
+    """Immutable view of the ledger at one instant."""
+
+    counts: Mapping[str, int]
+    bytes: Mapping[str, int]
+    piggybacked: Mapping[str, int]
+
+    def total_count(self, names: Iterable[str] | None = None) -> int:
+        """Messages recorded, optionally restricted to ``names``."""
+        if names is None:
+            return sum(self.counts.values())
+        return sum(self.counts.get(n, 0) for n in names)
+
+    def total_bytes(self, names: Iterable[str] | None = None) -> int:
+        """Bytes recorded, optionally restricted to ``names``."""
+        if names is None:
+            return sum(self.bytes.values())
+        return sum(self.bytes.get(n, 0) for n in names)
+
+
+class MessageLedger:
+    """Per-type message and byte counters with window checkpoints."""
+
+    def __init__(self, *, piggyback: bool = False) -> None:
+        #: When True, DLM control messages ride inside existing protocol
+        #: traffic and are charged only their value bytes.
+        self.piggyback = piggyback
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._bytes: Dict[str, int] = defaultdict(int)
+        self._piggybacked: Dict[str, int] = defaultdict(int)
+        self._mark: LedgerSnapshot = self.snapshot()
+
+    # -- recording --------------------------------------------------------
+    def record(self, msg_type: Type[Message], count: int = 1) -> None:
+        """Charge ``count`` messages of ``msg_type``."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        name = msg_type.wire_name
+        self._counts[name] += count
+        if self.piggyback and msg_type in DLM_MESSAGE_TYPES:
+            self._piggybacked[name] += count
+            self._bytes[name] += VALUE_BYTES * msg_type.n_values * count
+        else:
+            self._bytes[name] += msg_type.size_bytes() * count
+
+    def record_message(self, msg: Message) -> None:
+        """Charge a concrete message instance."""
+        self.record(type(msg))
+
+    # -- reading ------------------------------------------------------------
+    def count(self, msg_type: Type[Message]) -> int:
+        """Messages of one type recorded so far."""
+        return self._counts[msg_type.wire_name]
+
+    def bytes_for(self, msg_type: Type[Message]) -> int:
+        """Bytes charged to one message type so far."""
+        return self._bytes[msg_type.wire_name]
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Immutable copy of the cumulative counters."""
+        return LedgerSnapshot(
+            counts=dict(self._counts),
+            bytes=dict(self._bytes),
+            piggybacked=dict(self._piggybacked),
+        )
+
+    # -- aggregates ---------------------------------------------------------
+    @property
+    def dlm_messages(self) -> int:
+        """Total DLM control messages so far."""
+        return sum(self._counts[t.wire_name] for t in DLM_MESSAGE_TYPES)
+
+    @property
+    def dlm_bytes(self) -> int:
+        """Total DLM control bytes so far."""
+        return sum(self._bytes[t.wire_name] for t in DLM_MESSAGE_TYPES)
+
+    @property
+    def search_messages(self) -> int:
+        """Total search-plane messages so far."""
+        return sum(self._counts[t.wire_name] for t in SEARCH_MESSAGE_TYPES)
+
+    @property
+    def search_bytes(self) -> int:
+        """Total search-plane bytes so far."""
+        return sum(self._bytes[t.wire_name] for t in SEARCH_MESSAGE_TYPES)
+
+    def dlm_overhead_fraction(self) -> float:
+        """DLM bytes as a fraction of all bytes (the §6 claim)."""
+        total = sum(self._bytes.values())
+        if total == 0:
+            return 0.0
+        return self.dlm_bytes / total
+
+    # -- windows ---------------------------------------------------------------
+    def window(self) -> LedgerSnapshot:
+        """Counters accumulated since the previous :meth:`window` call."""
+        current = self.snapshot()
+        prev = self._mark
+        delta = LedgerSnapshot(
+            counts={
+                k: v - prev.counts.get(k, 0)
+                for k, v in current.counts.items()
+                if v - prev.counts.get(k, 0)
+            },
+            bytes={
+                k: v - prev.bytes.get(k, 0)
+                for k, v in current.bytes.items()
+                if v - prev.bytes.get(k, 0)
+            },
+            piggybacked={
+                k: v - prev.piggybacked.get(k, 0)
+                for k, v in current.piggybacked.items()
+                if v - prev.piggybacked.get(k, 0)
+            },
+        )
+        self._mark = current
+        return delta

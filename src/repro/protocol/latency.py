@@ -1,0 +1,107 @@
+"""Per-hop latency models for the overlay's links.
+
+The paper evaluates search only by message counts; a downstream user of
+a super-peer system also cares about *time to first hit*, which depends
+on per-hop propagation delays.  A :class:`LatencyModel` samples the
+delay of one overlay hop; the flood router threads delays through its
+BFS so each query reports the simulated time until its first QueryHit
+returns.
+
+Models provided: constant (uniform testbeds), uniform (jittery LANs),
+and log-normal (wide-area RTT distributions, the standard fit).  Units
+are abstract "latency units"; with one ~ 25 ms the log-normal default
+matches wide-area medians.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "default_latency_model",
+]
+
+
+class LatencyModel(ABC):
+    """Sampler of non-negative per-hop delays."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` per-hop delays."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected per-hop delay."""
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """One per-hop delay as a float."""
+        return float(self.sample(rng, 1)[0])
+
+
+class ConstantLatency(LatencyModel):
+    """Every hop takes exactly ``delay`` units."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """``n`` identical delays."""
+        return np.full(n, self.delay)
+
+    @property
+    def mean(self) -> float:
+        """The constant delay."""
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Hop delays uniform on [lo, hi]."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if not 0 <= lo <= hi:
+            raise ValueError(f"need 0 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """``n`` uniform delays on [lo, hi]."""
+        return rng.uniform(self.lo, self.hi, size=n)
+
+    @property
+    def mean(self) -> float:
+        """Midpoint of the interval."""
+        return 0.5 * (self.lo + self.hi)
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed wide-area delays (median/sigma parameterization)."""
+
+    def __init__(self, median: float, sigma: float) -> None:
+        if median <= 0 or sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+        self.mu = math.log(median)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """``n`` log-normal delays."""
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    @property
+    def mean(self) -> float:
+        """exp(mu + sigma^2/2), the log-normal mean."""
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+
+def default_latency_model() -> LogNormalLatency:
+    """Wide-area default: log-normal, median 1 unit, sigma 0.5."""
+    return LogNormalLatency(median=1.0, sigma=0.5)

@@ -1,0 +1,145 @@
+"""Protocol messages.
+
+Table 1 of the paper defines the two DLM message pairs:
+
+=====================  =========================
+Message                Value fields
+=====================  =========================
+neigh_num_request      (null)
+neigh_num_response     ``l_nn``
+value_request          (null)
+value_response         ``capacity``, ``age``
+=====================  =========================
+
+plus the pre-existing super-peer search messages (``query`` /
+``query_hit``) that DLM's overhead is compared against in §6.  Each
+message type carries a byte-size model: "these messages are only
+transferred between directly connected neighbors, so they can have very
+simple formats and only need few bytes" -- we charge a small fixed header
+plus the value fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+__all__ = [
+    "Message",
+    "NeighNumRequest",
+    "NeighNumResponse",
+    "ValueRequest",
+    "ValueResponse",
+    "QueryMessage",
+    "QueryHitMessage",
+    "DLM_MESSAGE_TYPES",
+    "SEARCH_MESSAGE_TYPES",
+]
+
+#: Fixed per-message framing overhead (type tag + addressing), in bytes.
+HEADER_BYTES = 8
+#: Bytes charged per numeric value field.
+VALUE_BYTES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: a point-to-point message between connected neighbors."""
+
+    src: int
+    dst: int
+
+    #: Class-level wire name used by the accounting tables.
+    wire_name: ClassVar[str] = "message"
+    #: Number of numeric value fields (drives the size model).
+    n_values: ClassVar[int] = 0
+
+    @classmethod
+    def size_bytes(cls) -> int:
+        """Modeled wire size of this message type."""
+        return HEADER_BYTES + VALUE_BYTES * cls.n_values
+
+
+@dataclass(frozen=True, slots=True)
+class NeighNumRequest(Message):
+    """Leaf -> super: request the super's leaf-neighbor count (Table 1)."""
+
+    wire_name: ClassVar[str] = "neigh_num_request"
+    n_values: ClassVar[int] = 0
+
+
+@dataclass(frozen=True, slots=True)
+class NeighNumResponse(Message):
+    """Super -> leaf: the super's current leaf-neighbor count ``l_nn``."""
+
+    l_nn: int = 0
+
+    wire_name: ClassVar[str] = "neigh_num_response"
+    n_values: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ValueRequest(Message):
+    """Request the remote peer's DLM metric values (Table 1).
+
+    Sent in either direction between a connected leaf/super pair: the
+    super queries its leaf (to build its related set) and the leaf queries
+    the super (to build its own).
+    """
+
+    wire_name: ClassVar[str] = "value_request"
+    n_values: ClassVar[int] = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ValueResponse(Message):
+    """The remote peer's ``capacity`` and ``age`` (Table 1)."""
+
+    capacity: float = 0.0
+    age: float = 0.0
+
+    wire_name: ClassVar[str] = "value_response"
+    n_values: ClassVar[int] = 2
+
+
+@dataclass(frozen=True, slots=True)
+class QueryMessage(Message):
+    """A flooded search query (pre-existing protocol traffic, §3).
+
+    Queries carry a key and TTL; sizes are modeled with two value fields
+    (query id + TTL) plus a nominal 16-byte keyword payload.
+    """
+
+    query_id: int = 0
+    ttl: int = 0
+
+    wire_name: ClassVar[str] = "query"
+    n_values: ClassVar[int] = 2
+
+    @classmethod
+    def size_bytes(cls) -> int:
+        """Header + ids/TTL + a nominal 16-byte keyword payload."""
+        return HEADER_BYTES + VALUE_BYTES * cls.n_values + 16
+
+
+@dataclass(frozen=True, slots=True)
+class QueryHitMessage(Message):
+    """A query response routed back along the inverse query path (§3)."""
+
+    query_id: int = 0
+    holder: int = 0
+
+    wire_name: ClassVar[str] = "query_hit"
+    n_values: ClassVar[int] = 2
+
+
+#: The DLM control-plane message types (the overhead §6 argues is trivial).
+DLM_MESSAGE_TYPES: Tuple[type, ...] = (
+    NeighNumRequest,
+    NeighNumResponse,
+    ValueRequest,
+    ValueResponse,
+)
+
+#: The search-plane message types DLM traffic is compared against.
+SEARCH_MESSAGE_TYPES: Tuple[type, ...] = (QueryMessage, QueryHitMessage)

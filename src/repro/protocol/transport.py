@@ -1,0 +1,107 @@
+"""Phase-1 information exchange.
+
+Models the traffic of DLM's information-collection phase.  The paper's
+default policy is **event-driven**: "information exchange is invoked
+whenever a peer finds that a new connection is created" (§4 Phase 1); a
+**periodic** policy (each peer refreshes its neighbors' values every T
+units) is also evaluated and found strictly more expensive -- ablation A3
+reproduces that comparison.
+
+Table 1 defines one ``neigh_num`` pair (leaf asks super for ``l_nn``) and
+one ``value`` pair (capacity + age).  The value pair must flow in *both*
+directions for the algorithm to work -- the super compares itself against
+its leaves' values and the leaf against its supers' values -- so a fresh
+leaf--super connection costs six messages:
+
+* ``neigh_num_request`` (leaf->super), ``neigh_num_response`` (super->leaf)
+* ``value_request`` (super->leaf), ``value_response`` (leaf->super)
+* ``value_request`` (leaf->super), ``value_response`` (super->leaf)
+
+Super--super connections exchange nothing (a super-peer's related set is
+its leaf neighbors, and its own ``l_nn`` is local knowledge).
+
+The actual metric values used by the evaluator are read from live
+simulation state; this module only owns the *accounting*, which is what
+§6's overhead claims are about.
+"""
+
+from __future__ import annotations
+
+from ..overlay.topology import Overlay
+from .accounting import MessageLedger
+from .messages import (
+    NeighNumRequest,
+    NeighNumResponse,
+    ValueRequest,
+    ValueResponse,
+)
+
+__all__ = ["InfoExchange", "MESSAGES_PER_NEW_LINK"]
+
+#: Wire cost of the event-driven exchange on one new leaf--super link.
+MESSAGES_PER_NEW_LINK = 6
+
+
+class InfoExchange:
+    """Charges Phase-1 traffic to a :class:`MessageLedger`."""
+
+    def __init__(self, overlay: Overlay, ledger: MessageLedger) -> None:
+        self.overlay = overlay
+        self.ledger = ledger
+
+    def on_connection_created(self, a: int, b: int) -> bool:
+        """Charge the event-driven exchange for a new link.
+
+        Returns True if the link was a leaf--super link (and traffic was
+        charged); super--super links are free.
+        """
+        pa = self.overlay.get(a)
+        pb = self.overlay.get(b)
+        if pa is None or pb is None:
+            return False
+        if pa.is_super and pb.is_super:
+            return False
+        leaf, sup = (a, b) if pa.is_leaf else (b, a)
+        self.ledger.record(NeighNumRequest)
+        self.ledger.record(NeighNumResponse)
+        # Super queries the leaf's values...
+        self.ledger.record(ValueRequest)
+        self.ledger.record(ValueResponse)
+        # ...and the leaf queries the super's.
+        self.ledger.record(ValueRequest)
+        self.ledger.record(ValueResponse)
+        del leaf, sup  # direction is reflected in the counts only
+        return True
+
+    def refresh_leaf(self, leaf_id: int) -> int:
+        """Charge a periodic-policy refresh of one leaf's super links.
+
+        Each current super link costs a full 4-message refresh
+        (``neigh_num`` pair + the super's ``value`` pair; the leaf's own
+        constant capacity needs no re-send, but its age does, so we charge
+        the symmetric pair conservatively as in the event-driven case
+        minus the leaf->super value pair).  Returns messages charged.
+        """
+        peer = self.overlay.get(leaf_id)
+        if peer is None or not peer.is_leaf:
+            return 0
+        links = len(peer.super_neighbors)
+        if links == 0:
+            return 0
+        self.ledger.record(NeighNumRequest, links)
+        self.ledger.record(NeighNumResponse, links)
+        self.ledger.record(ValueRequest, links)
+        self.ledger.record(ValueResponse, links)
+        return 4 * links
+
+    def refresh_super(self, super_id: int) -> int:
+        """Charge a periodic-policy refresh of one super's leaf values."""
+        peer = self.overlay.get(super_id)
+        if peer is None or not peer.is_super:
+            return 0
+        links = len(peer.leaf_neighbors)
+        if links == 0:
+            return 0
+        self.ledger.record(ValueRequest, links)
+        self.ledger.record(ValueResponse, links)
+        return 2 * links

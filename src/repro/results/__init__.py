@@ -1,0 +1,16 @@
+"""Run-result persistence: JSON export, load, and cross-run comparison."""
+
+from .compare import RunComparison, SeriesDelta, compare_runs
+from .csv_export import bundle_to_csv, write_bundle_csv
+from .export import export_run, load_run, write_run
+
+__all__ = [
+    "RunComparison",
+    "bundle_to_csv",
+    "write_bundle_csv",
+    "SeriesDelta",
+    "compare_runs",
+    "export_run",
+    "load_run",
+    "write_run",
+]

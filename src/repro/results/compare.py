@@ -1,0 +1,95 @@
+"""Comparing two exported runs.
+
+The ablation workflow is: export a baseline run, change one knob, export
+again, diff.  :func:`compare_runs` aligns the two documents' series and
+reports per-series tail means plus the headline deltas (ratio error,
+layer separations, traffic) so a regression in any reproduced shape is
+one function call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["SeriesDelta", "RunComparison", "compare_runs"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesDelta:
+    """Tail-mean comparison of one series across two runs."""
+
+    name: str
+    baseline: float
+    candidate: float
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline (inf when baseline is 0)."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 1.0
+        return self.candidate / self.baseline
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """All aligned deltas between two run documents."""
+
+    series: Dict[str, SeriesDelta]
+    missing_in_candidate: Tuple[str, ...]
+    missing_in_baseline: Tuple[str, ...]
+    counters: Dict[str, SeriesDelta]
+
+    def regressions(self, *, tolerance: float = 0.25) -> Dict[str, SeriesDelta]:
+        """Series whose tail means moved by more than ``tolerance``."""
+        return {
+            name: delta
+            for name, delta in self.series.items()
+            if abs(delta.ratio - 1.0) > tolerance
+        }
+
+
+def _tail_mean(series_doc: Mapping[str, Any], fraction: float = 0.25) -> float:
+    values = np.asarray(series_doc["values"], dtype=float)
+    if values.size == 0:
+        return float("nan")
+    k = max(1, int(values.size * fraction))
+    return float(values[-k:].mean())
+
+
+def compare_runs(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    *,
+    tail_fraction: float = 0.25,
+) -> RunComparison:
+    """Diff two exported run documents (see :mod:`.export`)."""
+    b_series = baseline.get("series", {})
+    c_series = candidate.get("series", {})
+    shared = sorted(set(b_series) & set(c_series))
+    series = {
+        name: SeriesDelta(
+            name=name,
+            baseline=_tail_mean(b_series[name], tail_fraction),
+            candidate=_tail_mean(c_series[name], tail_fraction),
+        )
+        for name in shared
+    }
+    b_counts = baseline.get("overhead", {})
+    c_counts = candidate.get("overhead", {})
+    counters = {
+        name: SeriesDelta(
+            name=name,
+            baseline=float(b_counts.get(name, 0)),
+            candidate=float(c_counts.get(name, 0)),
+        )
+        for name in sorted(set(b_counts) | set(c_counts))
+    }
+    return RunComparison(
+        series=series,
+        missing_in_candidate=tuple(sorted(set(b_series) - set(c_series))),
+        missing_in_baseline=tuple(sorted(set(c_series) - set(b_series))),
+        counters=counters,
+    )

@@ -1,0 +1,66 @@
+"""CSV export of recorded series (for gnuplot/matplotlib/spreadsheets).
+
+The ASCII renders are enough to eyeball shapes; anyone producing
+camera-ready plots wants the raw samples.  One CSV per bundle: a time
+column plus one column per series, aligned on the shared sample grid
+(every series a :class:`LayerStatsSampler` records shares it; ragged
+bundles are refused rather than silently interpolated).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.timeseries import SeriesBundle
+
+__all__ = ["bundle_to_csv", "write_bundle_csv"]
+
+
+def bundle_to_csv(
+    bundle: SeriesBundle, *, series: Sequence[str] | None = None
+) -> str:
+    """Render a bundle as CSV text (``time`` column first).
+
+    ``series`` selects and orders columns; default: all, sorted.
+    Raises ``ValueError`` if the chosen series are not sampled on the
+    same time grid.
+    """
+    names = list(series) if series is not None else list(bundle.names())
+    if not names:
+        raise ValueError("no series to export")
+    missing = [n for n in names if n not in bundle]
+    if missing:
+        raise ValueError(f"unknown series: {missing}")
+    base = bundle[names[0]].times
+    for name in names[1:]:
+        other = bundle[name].times
+        if other.shape != base.shape or not np.array_equal(other, base):
+            raise ValueError(
+                f"series {name!r} is sampled on a different time grid than "
+                f"{names[0]!r}; export them separately"
+            )
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time"] + names)
+    columns = [bundle[n].values for n in names]
+    for i, t in enumerate(base):
+        writer.writerow([repr(float(t))] + [repr(float(c[i])) for c in columns])
+    return out.getvalue()
+
+
+def write_bundle_csv(
+    bundle: SeriesBundle,
+    path: str | Path,
+    *,
+    series: Sequence[str] | None = None,
+) -> Path:
+    """Write :func:`bundle_to_csv` output to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(bundle_to_csv(bundle, series=series))
+    return path

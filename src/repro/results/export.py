@@ -1,0 +1,95 @@
+"""Serializing run results to JSON-compatible dictionaries and files.
+
+A :class:`~repro.experiments.runner.RunResult` holds live objects; for
+archiving, plotting elsewhere, or diffing two runs the harness exports a
+plain-data document: the configuration, every recorded series, the
+overhead and message counters, policy activity, and (when a search plane
+ran) the query statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from ..experiments.runner import RunResult
+
+__all__ = ["export_run", "write_run", "load_run"]
+
+#: Schema version stamped into every export.
+SCHEMA_VERSION = 1
+
+
+def _config_dict(config) -> Dict[str, Any]:
+    d = dataclasses.asdict(config)
+    # Nested frozen dataclasses (dlm, search) serialize via asdict too;
+    # asdict already recursed, just normalize non-JSON scalars.
+    return json.loads(json.dumps(d, default=str))
+
+
+def export_run(result: RunResult) -> Dict[str, Any]:
+    """A JSON-compatible document describing one completed run."""
+    series = {
+        name: {
+            "times": [float(t) for t in result.series[name].times],
+            "values": [float(v) for v in result.series[name].values],
+        }
+        for name in result.series.names()
+    }
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "config": _config_dict(result.config),
+        "policy": {
+            "name": result.policy.name,
+        },
+        "final_state": {
+            "n": result.overlay.n,
+            "n_super": result.overlay.n_super,
+            "n_leaf": result.overlay.n_leaf,
+            "ratio": result.overlay.layer_size_ratio(),
+            "total_promotions": result.overlay.total_promotions,
+            "total_demotions": result.overlay.total_demotions,
+        },
+        "overhead": dataclasses.asdict(result.ctx.overhead.counters),
+        "messages": {
+            "counts": dict(result.ctx.messages.snapshot().counts),
+            "bytes": dict(result.ctx.messages.snapshot().bytes),
+            "dlm_overhead_fraction": result.ctx.messages.dlm_overhead_fraction(),
+        },
+        "series": series,
+    }
+    policy = result.policy
+    for attr in ("evaluations", "promotions", "demotions", "forced_demotions"):
+        if hasattr(policy, attr):
+            doc["policy"][attr] = getattr(policy, attr)
+    stats = result.query_stats
+    if stats is not None:
+        doc["queries"] = {
+            "issued": stats.issued,
+            "succeeded": stats.succeeded,
+            "success_rate": stats.success_rate,
+            "mean_messages_per_query": stats.mean_messages_per_query,
+        }
+    return doc
+
+
+def write_run(result: RunResult, path: str | Path) -> Path:
+    """Export and write a run document; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(export_run(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_run(path: str | Path) -> Dict[str, Any]:
+    """Read back a run document, validating the schema version."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported run document version {version!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    return doc

@@ -1,0 +1,20 @@
+"""Search substrate: content model, super-peer indexes, flooding, walkers."""
+
+from .content import ContentCatalog
+from .flooding import FloodRouter, QueryOutcome
+from .index import ContentDirectory
+from .stats import QueryStats, QueryStatsSnapshot
+from .walkers import RandomWalkRouter, WalkOutcome
+from .workload import QueryWorkload
+
+__all__ = [
+    "ContentCatalog",
+    "FloodRouter",
+    "QueryOutcome",
+    "ContentDirectory",
+    "QueryStats",
+    "QueryStatsSnapshot",
+    "RandomWalkRouter",
+    "WalkOutcome",
+    "QueryWorkload",
+]

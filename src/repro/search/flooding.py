@@ -1,0 +1,170 @@
+"""TTL-bounded flooding over the super-layer backbone.
+
+The search mechanism of §3: "both super-peers and leaf-peers can submit
+queries, but only super-peers relay queries and query responses.  A
+super-peer may forward an incoming query to its neighboring super-peers.
+When receiving a query, a super-peer first checks if the queried data is
+stored in local or in its leaf-peers ... If some results are found in a
+peer, it will send a QueryHit message back to the query source along the
+inverse query path."
+
+The router is a BFS with per-copy TTL semantics: every transmission of
+the query over a backbone link is one ``query`` message (duplicates
+included -- floods pay for redundant deliveries); every hit routes one
+``query_hit`` back along the inverse path, one message per hop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..overlay.topology import Overlay
+from ..protocol.accounting import MessageLedger
+from ..protocol.latency import LatencyModel
+from ..protocol.messages import QueryHitMessage, QueryMessage
+from .index import ContentDirectory
+
+__all__ = ["FloodRouter", "QueryOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOutcome:
+    """What one query did."""
+
+    obj: int
+    source: int
+    found: bool
+    hits: int
+    supers_visited: int
+    query_messages: int
+    hit_messages: int
+    first_hit_hops: Optional[int]
+    first_hit_latency: Optional[float] = None
+
+    @property
+    def total_messages(self) -> int:
+        """Query plus hit messages."""
+        return self.query_messages + self.hit_messages
+
+
+class FloodRouter:
+    """Floods queries across the backbone and checks super indexes."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        directory: ContentDirectory,
+        *,
+        ttl: int = 7,
+        ledger: Optional[MessageLedger] = None,
+        latency: Optional[LatencyModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {ttl}")
+        if latency is not None and rng is None:
+            raise ValueError("a latency model needs an rng to sample from")
+        self.overlay = overlay
+        self.directory = directory
+        self.ttl = ttl
+        self.ledger = ledger
+        self.latency = latency
+        self.rng = rng
+
+    def _hop_delay(self) -> float:
+        assert self.latency is not None and self.rng is not None
+        return self.latency.sample_one(self.rng)
+
+    def query(self, source: int, obj: int) -> QueryOutcome:
+        """Issue a query for ``obj`` from peer ``source``.
+
+        A leaf source first checks its own storage, then hands the query
+        to each of its super-peers (one message per link); a super source
+        starts the flood itself.
+        """
+        peer = self.overlay.peer(source)
+        query_messages = 0
+        hits = 0
+        first_hit_hops: Optional[int] = None
+
+        if obj in self.directory.files(source):
+            # Local storage satisfies the query without any traffic.
+            return QueryOutcome(
+                obj=obj,
+                source=source,
+                found=True,
+                hits=1,
+                supers_visited=0,
+                query_messages=0,
+                hit_messages=0,
+                first_hit_hops=0,
+                first_hit_latency=0.0 if self.latency is not None else None,
+            )
+
+        # Seed the flood frontier.
+        timed = self.latency is not None
+        depth: Dict[int, int] = {}
+        delay: Dict[int, float] = {}
+        frontier: deque[int] = deque()
+        if peer.is_super:
+            depth[source] = 0
+            delay[source] = 0.0
+            frontier.append(source)
+        else:
+            for sid in peer.super_neighbors:
+                query_messages += 1
+                if sid not in depth:
+                    depth[sid] = 1
+                    delay[sid] = self._hop_delay() if timed else 0.0
+                    frontier.append(sid)
+
+        hit_messages = 0
+        visited = 0
+        first_hit_latency: Optional[float] = None
+        while frontier:
+            sid = frontier.popleft()
+            d = depth[sid]
+            visited += 1
+            if self.directory.super_hit(sid, obj):
+                hits += 1
+                hit_messages += d  # QueryHit back along the inverse path
+                if first_hit_hops is None:
+                    first_hit_hops = d
+                    if timed:
+                        # Forward delay plus a freshly sampled return
+                        # path of the same hop count.
+                        back = (
+                            float(self.latency.sample(self.rng, d).sum())
+                            if d
+                            else 0.0
+                        )
+                        first_hit_latency = delay[sid] + back
+            if d >= self.ttl:
+                continue
+            sup = self.overlay.peer(sid)
+            for nxt in sup.super_neighbors:
+                query_messages += 1  # every transmission costs, dup or not
+                if nxt not in depth:
+                    depth[nxt] = d + 1
+                    delay[nxt] = (delay[sid] + self._hop_delay()) if timed else 0.0
+                    frontier.append(nxt)
+
+        if self.ledger is not None:
+            self.ledger.record(QueryMessage, query_messages)
+            self.ledger.record(QueryHitMessage, hit_messages)
+
+        return QueryOutcome(
+            obj=obj,
+            source=source,
+            found=hits > 0,
+            hits=hits,
+            supers_visited=visited,
+            query_messages=query_messages,
+            hit_messages=hit_messages,
+            first_hit_hops=first_hit_hops,
+            first_hit_latency=first_hit_latency,
+        )

@@ -1,0 +1,157 @@
+"""The content directory: per-peer files and per-super leaf indexes.
+
+"Each super-peer behaves like a proxy or agent of its leaf-peers, and
+keeps an index of its leaf-peers' shared data" (§3).  The directory
+subscribes to the overlay's event streams and maintains, incrementally:
+
+* ``files(pid)`` -- the immutable shared-file set assigned at join;
+* a per-super multiset index of the objects its *current* leaf neighbors
+  share, updated on every link change, role change, and departure.
+
+Incremental maintenance is what makes query simulation affordable; its
+correctness against a from-scratch rebuild is property-tested
+(``tests/properties/test_index_consistency.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..overlay.peer import Peer
+from ..overlay.roles import Role
+from ..overlay.topology import Overlay
+from .content import ContentCatalog
+
+__all__ = ["ContentDirectory"]
+
+
+class ContentDirectory:
+    """Assigns shared files at join and keeps super-peer indexes current."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        catalog: ContentCatalog,
+        rng: np.random.Generator,
+        *,
+        files_per_peer: int = 10,
+    ) -> None:
+        if files_per_peer < 0:
+            raise ValueError(f"files_per_peer must be >= 0, got {files_per_peer}")
+        self.overlay = overlay
+        self.catalog = catalog
+        self.files_per_peer = files_per_peer
+        self._rng = rng
+        self._files: Dict[int, Tuple[int, ...]] = {}
+        self._index: Dict[int, Counter] = {}
+        overlay.add_membership_listener(self._on_membership)
+        overlay.add_link_listener(self._on_link)
+        overlay.add_role_listener(self._on_role_change)
+
+    # -- queries the router uses ---------------------------------------------
+    def files(self, pid: int) -> Tuple[int, ...]:
+        """The shared-file set of a live peer (empty if unknown)."""
+        return self._files.get(pid, ())
+
+    def super_hit(self, super_id: int, obj: int) -> bool:
+        """Does this super-peer resolve ``obj`` locally or via its index?"""
+        if obj in self._files.get(super_id, ()):
+            return True
+        idx = self._index.get(super_id)
+        return bool(idx) and idx.get(obj, 0) > 0
+
+    def holders_via_super(self, super_id: int, obj: int) -> int:
+        """Number of copies reachable through this super (self + leaves)."""
+        own = 1 if obj in self._files.get(super_id, ()) else 0
+        idx = self._index.get(super_id)
+        return own + (idx.get(obj, 0) if idx else 0)
+
+    def index_size(self, super_id: int) -> int:
+        """Total indexed (object, leaf) entries for a super-peer."""
+        idx = self._index.get(super_id)
+        return int(sum(idx.values())) if idx else 0
+
+    # -- event maintenance -----------------------------------------------------
+    def _on_membership(self, peer: Peer, joined: bool) -> None:
+        if joined:
+            self._files[peer.pid] = self.catalog.sample_shared_set(
+                self._rng, self.files_per_peer
+            )
+            if peer.is_super:
+                self._index[peer.pid] = Counter()
+        else:
+            self._files.pop(peer.pid, None)
+            self._index.pop(peer.pid, None)
+
+    def _on_link(self, a: int, b: int, created: bool) -> None:
+        pa = self.overlay.get(a)
+        pb = self.overlay.get(b)
+        if pa is None or pb is None:  # pragma: no cover - events fire pre-removal
+            return
+        if pa.is_super == pb.is_super:
+            return  # backbone links carry no index entries
+        sup, leaf = (a, b) if pa.is_super else (b, a)
+        idx = self._index.setdefault(sup, Counter())
+        leaf_files = self._files.get(leaf, ())
+        if created:
+            for obj in leaf_files:
+                idx[obj] += 1
+        else:
+            for obj in leaf_files:
+                cnt = idx[obj] - 1
+                if cnt > 0:
+                    idx[obj] = cnt
+                else:
+                    del idx[obj]
+
+    def _on_role_change(self, peer: Peer, old_role: Role) -> None:
+        if old_role is Role.LEAF:
+            # Promotion: retained links became backbone links, so the
+            # peer's files leave its former supers' indexes; it starts
+            # indexing (no leaves yet).
+            my_files = self._files.get(peer.pid, ())
+            for sid in peer.super_neighbors:
+                idx = self._index.get(sid)
+                if idx is None:
+                    continue
+                for obj in my_files:
+                    cnt = idx[obj] - 1
+                    if cnt > 0:
+                        idx[obj] = cnt
+                    else:
+                        del idx[obj]
+            self._index[peer.pid] = Counter()
+        else:
+            # Demotion: orphan/surplus drops were notified as links while
+            # still super; the retained links were re-filed to
+            # leaf--super, so the new leaf's files enter the keepers'
+            # indexes, and its own index dissolves.
+            self._index.pop(peer.pid, None)
+            my_files = self._files.get(peer.pid, ())
+            for sid in peer.super_neighbors:
+                idx = self._index.setdefault(sid, Counter())
+                for obj in my_files:
+                    idx[obj] += 1
+
+    # -- verification ------------------------------------------------------------
+    def rebuild_index(self, super_id: int) -> Counter:
+        """From-scratch index of one super (ground truth for tests)."""
+        peer = self.overlay.peer(super_id)
+        fresh: Counter = Counter()
+        for lid in peer.leaf_neighbors:
+            for obj in self._files.get(lid, ()):
+                fresh[obj] += 1
+        return fresh
+
+    def check_consistency(self) -> None:
+        """Assert every super's incremental index matches a rebuild."""
+        for sid in self.overlay.super_ids:
+            live = self._index.get(sid, Counter())
+            fresh = self.rebuild_index(sid)
+            if +live != fresh:  # unary + drops zero/negative entries
+                raise AssertionError(
+                    f"index drift on super {sid}: {live} != {fresh}"
+                )

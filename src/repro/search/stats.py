@@ -1,0 +1,104 @@
+"""Per-query statistics accumulation.
+
+Aggregates :class:`~repro.search.flooding.QueryOutcome`-shaped results
+into success rates, message costs, and visitation footprints, with
+window checkpoints so the Figure-7 harness can compare policies over the
+same measurement intervals ("on same success rate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["QueryStats", "QueryStatsSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryStatsSnapshot:
+    """Cumulative query counters at one instant."""
+
+    issued: int = 0
+    succeeded: int = 0
+    total_hits: int = 0
+    total_query_messages: int = 0
+    total_hit_messages: int = 0
+    total_supers_visited: int = 0
+    total_first_hit_latency: float = 0.0
+    latency_samples: int = 0
+
+    def minus(self, other: "QueryStatsSnapshot") -> "QueryStatsSnapshot":
+        """Field-wise difference (windowed rates)."""
+        return QueryStatsSnapshot(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of issued queries that found at least one copy."""
+        return self.succeeded / self.issued if self.issued else 0.0
+
+    @property
+    def mean_messages_per_query(self) -> float:
+        """Mean total (query + hit) messages per issued query."""
+        if not self.issued:
+            return 0.0
+        return (self.total_query_messages + self.total_hit_messages) / self.issued
+
+    @property
+    def mean_supers_visited(self) -> float:
+        """Mean super-peers visited per issued query."""
+        return self.total_supers_visited / self.issued if self.issued else 0.0
+
+    @property
+    def mean_hits_per_query(self) -> float:
+        """Mean holders found per issued query."""
+        return self.total_hits / self.issued if self.issued else 0.0
+
+    @property
+    def mean_time_to_first_hit(self) -> float:
+        """Mean simulated latency until the first QueryHit returns,
+        over queries routed with a latency model; 0.0 if none were."""
+        if not self.latency_samples:
+            return 0.0
+        return self.total_first_hit_latency / self.latency_samples
+
+
+class QueryStats:
+    """Mutable accumulator with windowing."""
+
+    def __init__(self) -> None:
+        self._c = QueryStatsSnapshot()
+        self._mark = self._c
+
+    def record(self, outcome) -> None:
+        """Accumulate one outcome (flood or walk; duck-typed fields)."""
+        latency = getattr(outcome, "first_hit_latency", None)
+        self._c = replace(
+            self._c,
+            issued=self._c.issued + 1,
+            succeeded=self._c.succeeded + (1 if outcome.found else 0),
+            total_hits=self._c.total_hits + outcome.hits,
+            total_query_messages=self._c.total_query_messages
+            + outcome.query_messages,
+            total_hit_messages=self._c.total_hit_messages + outcome.hit_messages,
+            total_supers_visited=self._c.total_supers_visited
+            + outcome.supers_visited,
+            total_first_hit_latency=self._c.total_first_hit_latency
+            + (latency if latency is not None else 0.0),
+            latency_samples=self._c.latency_samples
+            + (1 if latency is not None else 0),
+        )
+
+    @property
+    def snapshot(self) -> QueryStatsSnapshot:
+        """Cumulative counters."""
+        return self._c
+
+    def window(self) -> QueryStatsSnapshot:
+        """Counters since the previous :meth:`window` call."""
+        delta = self._c.minus(self._mark)
+        self._mark = self._c
+        return delta

@@ -1,0 +1,107 @@
+"""Query workload generation.
+
+Queries arrive as a renewal process at a configurable network-wide rate;
+each query originates at a uniformly random live peer and targets an
+object drawn by catalog popularity -- matching the per-peer query
+frequencies the paper's authors measured with their instrumented Gnutella
+clients (§5) in aggregate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Protocol, Union
+
+from ..overlay.topology import Overlay
+from ..sim.events import EventKind
+from ..sim.processes import RenewalProcess
+from ..sim.scheduler import Simulator
+from .content import ContentCatalog
+from .flooding import FloodRouter
+from .stats import QueryStats
+from .walkers import RandomWalkRouter
+
+__all__ = ["QueryWorkload"]
+
+
+class _Router(Protocol):
+    def query(self, source: int, obj: int):
+        """Route one query from ``source`` for ``obj``."""
+        ...
+
+
+class QueryWorkload:
+    """Issues popularity-weighted queries from random peers.
+
+    Parameters
+    ----------
+    sim, overlay, catalog, router:
+        The bound system pieces; ``router`` may be a
+        :class:`FloodRouter` or :class:`RandomWalkRouter`.
+    rate:
+        Mean queries per time unit network-wide.
+    stats:
+        Accumulator (a fresh one is created when omitted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        overlay: Overlay,
+        catalog: ContentCatalog,
+        router: Union[FloodRouter, RandomWalkRouter, _Router],
+        *,
+        rate: float = 10.0,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.overlay = overlay
+        self.catalog = catalog
+        self.router = router
+        self.stats = stats if stats is not None else QueryStats()
+        self._rng = sim.rng.get("queries")
+        self._ids = itertools.count()
+        self._process = RenewalProcess(
+            sim,
+            lambda: self._rng.exponential(1.0 / rate),
+            self._issue,
+            kind=EventKind.QUERY_ISSUED,
+        )
+
+    def stop(self) -> None:
+        """Cancel future query arrivals."""
+        self._process.stop()
+
+    def _random_source(self) -> Optional[int]:
+        ov = self.overlay
+        total = ov.n
+        if total == 0:
+            return None
+        # Uniform over all peers: pick the layer by size, then a member.
+        if self._rng.random() < ov.n_leaf / total and ov.n_leaf > 0:
+            return ov.leaf_ids.choice(self._rng)
+        if ov.n_super > 0:
+            return ov.super_ids.choice(self._rng)
+        return ov.leaf_ids.choice(self._rng)
+
+    def _issue(self, sim: Simulator, now: float) -> None:
+        source = self._random_source()
+        if source is None:
+            return
+        obj = self.catalog.query_target(self._rng)
+        outcome = self.router.query(source, obj)
+        self.stats.record(outcome)
+
+    def issue_one(self, source: Optional[int] = None, obj: Optional[int] = None):
+        """Issue a single query immediately (tests and examples)."""
+        if source is None:
+            source = self._random_source()
+            if source is None:
+                raise RuntimeError("no peers to query from")
+        if obj is None:
+            obj = self.catalog.query_target(self._rng)
+        outcome = self.router.query(source, obj)
+        self.stats.record(outcome)
+        return outcome

@@ -1,0 +1,44 @@
+"""Simulated clock.
+
+A tiny value object so subsystems can hold a reference to "the current
+time" without holding the whole simulator.  Only the scheduler advances it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotone simulated clock measured in abstract *time units*.
+
+    The paper's evaluation uses dimensionless time units (Figures 4-8 run
+    to ~2000 units); one unit loosely corresponds to one minute of wall
+    time in the measurement studies the parameters were drawn from.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises
+        ------
+        ValueError
+            If ``t`` is earlier than the current time; the simulation is
+            strictly monotone.
+        """
+        if t < self._now:
+            raise ValueError(f"clock may not move backwards: {t} < {self._now}")
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,117 @@
+"""Recurring-process helpers built on the event scheduler.
+
+Two patterns recur throughout the experiments:
+
+* **Periodic processes** -- metrics sampling every ``interval`` units, the
+  periodic variant of DLM's information exchange, the per-unit overhead
+  ledger rollover for Table 3.
+* **Renewal (arrival) processes** -- query issuance and, during warm-up,
+  peer arrivals, where the gap to the next firing is redrawn each time.
+
+Both are expressed as small driver objects that reschedule themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .events import Event
+from .scheduler import Simulator
+
+__all__ = ["PeriodicProcess", "RenewalProcess"]
+
+
+class PeriodicProcess:
+    """Invoke ``action(sim, time)`` every ``interval`` time units.
+
+    The first firing is at ``start`` (default: one interval from now).
+    Call :meth:`stop` to cancel future firings.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        action: Callable[[Simulator, float], None],
+        *,
+        start: Optional[float] = None,
+        kind: str = "periodic_process",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._action = action
+        self._kind = kind
+        self._stopped = False
+        self._pending: Optional[Event] = None
+        sim.on(kind, self._fire)
+        first = sim.now + self._interval if start is None else float(start)
+        self._pending = sim.schedule_at(first, kind, {"process": id(self)})
+
+    @property
+    def interval(self) -> float:
+        """The firing period."""
+        return self._interval
+
+    def _fire(self, sim: Simulator, event: Event) -> None:
+        if self._stopped or event.payload.get("process") != id(self):
+            return
+        self._action(sim, sim.now)
+        if not self._stopped:
+            self._pending = sim.schedule(
+                self._interval, self._kind, {"process": id(self)}
+            )
+
+    def stop(self) -> None:
+        """Cancel all future firings."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+
+class RenewalProcess:
+    """Invoke ``action`` at gaps drawn from ``gap_sampler()`` each firing.
+
+    ``gap_sampler`` returns the next inter-event time; non-positive samples
+    are clamped to a tiny epsilon so a degenerate sampler cannot wedge the
+    clock.
+    """
+
+    _EPS = 1e-9
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gap_sampler: Callable[[], float],
+        action: Callable[[Simulator, float], None],
+        *,
+        kind: str = "renewal_process",
+    ) -> None:
+        self._sim = sim
+        self._gap_sampler = gap_sampler
+        self._action = action
+        self._kind = kind
+        self._stopped = False
+        self._pending: Optional[Event] = None
+        sim.on(kind, self._fire)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = max(float(self._gap_sampler()), self._EPS)
+        self._pending = self._sim.schedule(gap, self._kind, {"process": id(self)})
+
+    def _fire(self, sim: Simulator, event: Event) -> None:
+        if self._stopped or event.payload.get("process") != id(self):
+            return
+        self._action(sim, sim.now)
+        if not self._stopped:
+            self._schedule_next()
+
+    def stop(self) -> None:
+        """Cancel all future firings."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None

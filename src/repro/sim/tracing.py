@@ -1,0 +1,69 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` subscribes to a set of event kinds on a simulator and
+records ``(time, kind, payload)`` tuples, optionally bounded.  Used by the
+integration tests to assert on event sequences and by the examples to show
+what a run did.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterable, Optional, Tuple
+
+from .events import Event
+from .scheduler import Simulator
+
+__all__ = ["Tracer", "TraceRecord"]
+
+TraceRecord = Tuple[float, str, dict]
+
+
+class Tracer:
+    """Record events of the given kinds as they are delivered.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to attach to.
+    kinds:
+        Event kinds to record.
+    capacity:
+        If given, only the most recent ``capacity`` records are kept
+        (a bounded ring); counts are always exact.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kinds: Iterable[str],
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+        self._kinds = tuple(kinds)
+        for kind in self._kinds:
+            sim.on(kind, self._record)
+
+    def _record(self, sim: Simulator, event: Event) -> None:
+        self.counts[event.kind] += 1
+        self._records.append((sim.now, event.kind, dict(event.payload)))
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        """All retained records, oldest first."""
+        return tuple(self._records)
+
+    def of_kind(self, kind: str) -> Tuple[TraceRecord, ...]:
+        """Retained records filtered to one kind."""
+        return tuple(r for r in self._records if r[1] == kind)
+
+    def total(self, kind: Optional[str] = None) -> int:
+        """Exact count of recorded events (of one kind, or overall)."""
+        if kind is None:
+            return sum(self.counts.values())
+        return self.counts[kind]
+
+    def clear(self) -> None:
+        """Drop retained records (counts are kept)."""
+        self._records.clear()

@@ -1,0 +1,7 @@
+"""Shared utilities: O(1)-sampling sets, ASCII tables and plots."""
+
+from .ascii_plot import ascii_plot
+from .indexed_set import IndexedSet
+from .tables import render_table
+
+__all__ = ["ascii_plot", "IndexedSet", "render_table"]

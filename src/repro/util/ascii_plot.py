@@ -1,0 +1,87 @@
+"""Terminal line plots for experiment series.
+
+The benches print each reproduced figure as an ASCII chart so the shapes
+(separation, flatness, oscillation) are visible straight from the test
+output, no plotting stack required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Plot named (times, values) series on one canvas.
+
+    Each series gets a marker from ``*o+x...``; overlapping points keep
+    the earlier series' marker.  ``logy`` plots log10 of positive values
+    (zeros/negatives are dropped), matching the paper's Figure-6 axis.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+
+    prepared: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (ts, vs) in series.items():
+        t = np.asarray(ts, dtype=float)
+        v = np.asarray(vs, dtype=float)
+        if t.shape != v.shape:
+            raise ValueError(f"series {name!r}: times and values differ in length")
+        if logy:
+            keep = v > 0
+            t, v = t[keep], np.log10(v[keep])
+        if t.size:
+            prepared[name] = (t, v)
+    if not prepared:
+        raise ValueError("no plottable points")
+
+    tmin = min(t.min() for t, _ in prepared.values())
+    tmax = max(t.max() for t, _ in prepared.values())
+    vmin = min(v.min() for _, v in prepared.values())
+    vmax = max(v.max() for _, v in prepared.values())
+    if math.isclose(tmax, tmin):
+        tmax = tmin + 1.0
+    if math.isclose(vmax, vmin):
+        vmax = vmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (t, v)) in enumerate(prepared.items()):
+        mark = _MARKERS[idx % len(_MARKERS)]
+        cols = np.clip(((t - tmin) / (tmax - tmin) * (width - 1)).round(), 0, width - 1)
+        rows = np.clip(((v - vmin) / (vmax - vmin) * (height - 1)).round(), 0, height - 1)
+        for c, r in zip(cols.astype(int), rows.astype(int)):
+            rr = height - 1 - r
+            if grid[rr][c] == " ":
+                grid[rr][c] = mark
+
+    ylab = "log10" if logy else "value"
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{vmax:10.3g} +"
+    bot = f"{vmin:10.3g} +"
+    pad = " " * 11 + "+"
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bot if i == height - 1 else pad)
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 12 + f"t: {tmin:.0f} .. {tmax:.0f}  ({ylab})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(prepared)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

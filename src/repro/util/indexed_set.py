@@ -1,0 +1,87 @@
+"""A set with O(1) uniform random sampling.
+
+Random neighbor selection is the hottest overlay operation: every join
+picks ``m`` random super-peers, every demotion-induced reconnect picks one,
+and the Table-3 runs do this hundreds of thousands of times at n = 80 000.
+A plain ``set`` cannot be sampled without materializing it; this structure
+mirrors the members in a list with swap-remove deletion so membership,
+insertion, deletion, and uniform choice are all O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+__all__ = ["IndexedSet"]
+
+
+class IndexedSet:
+    """Set of ints supporting O(1) add/discard/contains and random choice."""
+
+    __slots__ = ("_items", "_index")
+
+    def __init__(self, items: Sequence[int] = ()) -> None:
+        self._items: List[int] = []
+        self._index: Dict[int, int] = {}
+        for x in items:
+            self.add(x)
+
+    def add(self, x: int) -> None:
+        """Insert ``x`` if absent."""
+        if x not in self._index:
+            self._index[x] = len(self._items)
+            self._items.append(x)
+
+    def discard(self, x: int) -> None:
+        """Remove ``x`` if present (swap-remove, O(1))."""
+        i = self._index.pop(x, None)
+        if i is None:
+            return
+        last = self._items.pop()
+        if last != x:
+            self._items[i] = last
+            self._index[last] = i
+
+    def choice(self, rng: np.random.Generator) -> int:
+        """One uniformly random member; raises ``IndexError`` if empty."""
+        if not self._items:
+            raise IndexError("choice from an empty IndexedSet")
+        return self._items[int(rng.integers(len(self._items)))]
+
+    def sample(self, rng: np.random.Generator, k: int) -> List[int]:
+        """Up to ``k`` distinct uniformly random members.
+
+        Returns all members (shuffled draw order not guaranteed) when
+        ``k >= len(self)``.
+        """
+        n = len(self._items)
+        if k >= n:
+            return list(self._items)
+        if k <= 0:
+            return []
+        # For tiny k relative to n, rejection sampling beats permutation.
+        if k * 8 < n:
+            seen: set = set()
+            out: List[int] = []
+            while len(out) < k:
+                x = self._items[int(rng.integers(n))]
+                if x not in seen:
+                    seen.add(x)
+                    out.append(x)
+            return out
+        idx = rng.choice(n, size=k, replace=False)
+        return [self._items[int(i)] for i in idx]
+
+    def __contains__(self, x: int) -> bool:
+        return x in self._index
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedSet({self._items!r})"

@@ -1,0 +1,46 @@
+"""Fixed-width ASCII table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table"]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.01):
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None
+) -> str:
+    """Render rows under headers with column-aligned padding.
+
+    Floats are formatted to a sensible precision; everything else via
+    ``str``.  Returns the table as a single string (no trailing newline).
+    """
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row width {len(r)} does not match {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

@@ -1,0 +1,44 @@
+"""Unit tests for ratio-convergence analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import analyze_ratio_convergence
+from repro.metrics.timeseries import TimeSeries
+
+
+def ratio_series(values):
+    s = TimeSeries("ratio")
+    for i, v in enumerate(values):
+        s.append(float(i * 10), v)
+    return s
+
+
+class TestConvergenceAnalysis:
+    def test_converging_series(self):
+        s = ratio_series([500.0, 120.0, 60.0, 42.0, 41.0, 39.0, 40.0, 40.5])
+        report = analyze_ratio_convergence(s, 40.0)
+        assert report.converged
+        assert report.settled_at == 30.0
+        assert report.tail_error < 0.1
+
+    def test_diverging_series(self):
+        s = ratio_series([500.0, 400.0, 300.0, 350.0])
+        report = analyze_ratio_convergence(s, 40.0)
+        assert not report.converged
+        assert report.tail_error > 1.0
+
+    def test_tail_swing_measures_oscillation(self):
+        steady = ratio_series([40.0] * 8)
+        wobble = ratio_series([40.0, 40.0, 40.0, 40.0, 20.0, 60.0, 20.0, 60.0])
+        assert (
+            analyze_ratio_convergence(wobble, 40.0).tail_swing
+            > analyze_ratio_convergence(steady, 40.0).tail_swing
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_ratio_convergence(ratio_series([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            analyze_ratio_convergence(TimeSeries("empty"), 40.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the equation validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (
+    equation_a_from_parameters,
+    validate_equation_a,
+    validate_equation_b,
+)
+from repro.overlay.topology import Overlay
+from tests.conftest import build_small_overlay
+
+
+class TestEquationA:
+    def test_identity_on_regular_overlay(self):
+        """Every leaf holds exactly 1 link -> both sides count the same."""
+        ov = build_small_overlay(n_supers=3, leaves_per_super=4)
+        check = validate_equation_a(ov, m=1)
+        assert check.observed == pytest.approx(check.predicted)
+        assert check.relative_error < 1e-12
+
+    def test_no_supers_raises(self):
+        with pytest.raises(ValueError):
+            validate_equation_a(Overlay(), m=2)
+
+    def test_closed_form(self):
+        assert equation_a_from_parameters(2, 40.0) == 80.0
+        with pytest.raises(ValueError):
+            equation_a_from_parameters(0, 40.0)
+
+
+class TestEquationB:
+    def test_exact_at_achieved_ratio(self):
+        ov = build_small_overlay(n_supers=3, leaves_per_super=4)
+        check = validate_equation_b(ov, eta=ov.layer_size_ratio())
+        assert check.observed == pytest.approx(check.predicted)
+
+    def test_measures_policy_gap_at_target_ratio(self):
+        ov = build_small_overlay(n_supers=3, leaves_per_super=4)  # eta = 4
+        check = validate_equation_b(ov, eta=14.0)  # target: 1 super
+        assert check.observed == 3
+        assert check.predicted == pytest.approx(1.0)
+        assert check.relative_error > 0
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            validate_equation_b(Overlay(), eta=0.0)

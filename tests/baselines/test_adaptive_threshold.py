@@ -1,0 +1,109 @@
+"""Unit tests for the adaptive-threshold baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.adaptive_threshold import AdaptiveThresholdPolicy
+from repro.churn.distributions import BandwidthMixture, LogNormalDistribution
+from repro.churn.lifecycle import ChurnDriver
+from repro.context import build_context
+from repro.overlay.roles import Role
+
+
+def run_adaptive(eta=15.0, horizon=500.0, seed=19):
+    ctx = build_context(seed=seed)
+    policy = AdaptiveThresholdPolicy(eta=eta, initial_threshold=50.0)
+    policy.bind(ctx)
+    driver = ChurnDriver(
+        ctx,
+        policy,
+        LogNormalDistribution(median=60.0, sigma=1.0),
+        BandwidthMixture(),
+    )
+    driver.populate(600, warmup=30.0)
+    ctx.sim.run(until=horizon)
+    return ctx, policy
+
+
+class TestRoleDecision:
+    def test_cold_start_delegates(self, ctx):
+        policy = AdaptiveThresholdPolicy()
+        policy.bind(ctx)
+        assert policy.role_for_new_peer(1e9) is None
+
+    def test_threshold_splits(self, ctx):
+        policy = AdaptiveThresholdPolicy(initial_threshold=50.0)
+        policy.bind(ctx)
+        ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)
+        assert policy.role_for_new_peer(49.0) is Role.LEAF
+        assert policy.role_for_new_peer(51.0) is Role.SUPER
+
+
+class TestRetuning:
+    def test_threshold_moves_toward_ratio_target(self):
+        ctx, policy = run_adaptive()
+        assert policy.adjustments > 10
+        # steady-state ratio near target thanks to the retuned bar
+        assert ctx.overlay.layer_size_ratio() == pytest.approx(15.0, rel=0.5)
+
+    def test_threshold_lowered_when_supers_scarce(self, ctx):
+        policy = AdaptiveThresholdPolicy(eta=5.0, initial_threshold=50.0, gain=1.0)
+        policy.bind(ctx)
+        ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)
+        for _ in range(50):
+            ctx.join.join(0.0, 10.0, 500.0, role=Role.LEAF)
+        before = policy.threshold
+        policy._retune(ctx.sim, 0.0)  # ratio 50 >> eta 5
+        assert policy.threshold < before
+
+    def test_threshold_raised_when_supers_plentiful(self, ctx):
+        policy = AdaptiveThresholdPolicy(eta=40.0, initial_threshold=50.0, gain=1.0)
+        policy.bind(ctx)
+        for _ in range(10):
+            ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)
+        for _ in range(10):
+            ctx.join.join(0.0, 10.0, 500.0, role=Role.LEAF)
+        before = policy.threshold
+        policy._retune(ctx.sim, 0.0)  # ratio 1 << eta 40
+        assert policy.threshold > before
+
+    def test_threshold_clamped(self, ctx):
+        policy = AdaptiveThresholdPolicy(
+            eta=5.0, initial_threshold=1.0, gain=50.0, min_threshold=0.5,
+            max_threshold=100.0,
+        )
+        policy.bind(ctx)
+        ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)
+        for _ in range(500):
+            ctx.join.join(0.0, 10.0, 500.0, role=Role.LEAF)
+        policy._retune(ctx.sim, 0.0)
+        assert policy.threshold >= 0.5
+
+    def test_no_promotion_or_demotion_ever(self):
+        ctx, _ = run_adaptive()
+        assert ctx.overlay.total_promotions == 0
+        assert ctx.overlay.total_demotions == 0
+
+    def test_stop_halts_retuning(self):
+        ctx, policy = run_adaptive(horizon=100.0)
+        policy.stop()
+        before = policy.adjustments
+        ctx.sim.run(until=300.0)
+        assert policy.adjustments == before
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eta": 0.0},
+            {"initial_threshold": 0.0},
+            {"interval": 0.0},
+            {"gain": 0.0},
+            {"min_threshold": 2.0, "max_threshold": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(**kwargs)

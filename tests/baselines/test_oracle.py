@@ -1,0 +1,64 @@
+"""Unit tests for the global-knowledge oracle baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.oracle import OraclePolicy
+from repro.churn.distributions import ConstantDistribution, UniformDistribution
+from repro.churn.lifecycle import ChurnDriver
+from repro.context import build_context
+
+
+def run_oracle(eta=10.0, n=300, horizon=120.0, seed=4):
+    ctx = build_context(seed=seed)
+    policy = OraclePolicy(eta=eta, interval=10.0)
+    policy.bind(ctx)
+    driver = ChurnDriver(
+        ctx,
+        policy,
+        ConstantDistribution(1000.0),
+        UniformDistribution(1.0, 100.0),
+    )
+    driver.populate(n, warmup=10.0)
+    ctx.sim.run(until=horizon)
+    return ctx, policy
+
+
+class TestOracle:
+    def test_hits_exact_equation_b_sizes(self):
+        ctx, policy = run_oracle()
+        expected = OraclePolicy.expected_supers(ctx.overlay.n, 10.0)
+        assert abs(ctx.overlay.n_super - expected) <= 1
+
+    def test_elects_jointly_strong_peers(self):
+        ctx, policy = run_oracle()
+        supers = [ctx.overlay.peer(s) for s in ctx.overlay.super_ids]
+        leaves = [ctx.overlay.peer(l) for l in ctx.overlay.leaf_ids]
+        mean_sup_cap = sum(p.capacity for p in supers) / len(supers)
+        mean_leaf_cap = sum(p.capacity for p in leaves) / len(leaves)
+        assert mean_sup_cap > mean_leaf_cap
+
+    def test_rebalances_counted(self):
+        _, policy = run_oracle(horizon=55.0)
+        assert policy.rebalances >= 4
+
+    def test_stop_halts_rebalancing(self):
+        ctx, policy = run_oracle(horizon=30.0)
+        policy.stop()
+        before = policy.rebalances
+        ctx.sim.run(until=100.0)
+        assert policy.rebalances == before
+
+    def test_overlay_invariants_hold(self):
+        ctx, _ = run_oracle()
+        ctx.overlay.check_invariants()
+
+    def test_expected_supers_floor(self):
+        assert OraclePolicy.expected_supers(1, 40.0) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OraclePolicy(eta=0.0)
+        with pytest.raises(ValueError):
+            OraclePolicy(interval=0.0)

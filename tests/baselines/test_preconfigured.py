@@ -1,0 +1,73 @@
+"""Unit tests for the preconfigured-threshold baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.preconfigured import DEFAULT_THRESHOLD, PreconfiguredPolicy
+from repro.churn.distributions import ConstantDistribution, UniformDistribution
+from repro.churn.lifecycle import ChurnDriver
+from repro.context import build_context
+from repro.overlay.roles import Role
+
+
+class TestRoleDecision:
+    def test_cold_start_delegates_to_default(self, ctx):
+        policy = PreconfiguredPolicy(50.0)
+        policy.bind(ctx)
+        assert policy.role_for_new_peer(10.0) is None  # no supers yet
+
+    def test_threshold_splits_roles(self, ctx):
+        policy = PreconfiguredPolicy(50.0)
+        policy.bind(ctx)
+        ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)  # seed
+        assert policy.role_for_new_peer(49.9) is Role.LEAF
+        assert policy.role_for_new_peer(50.0) is Role.SUPER
+        assert policy.role_for_new_peer(1000.0) is Role.SUPER
+
+    def test_default_threshold_matches_paper_example(self):
+        """§3's running example uses a 50 KB/s threshold."""
+        assert DEFAULT_THRESHOLD == 50.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PreconfiguredPolicy(0.0)
+
+
+class TestRatioTracksArrivalMix:
+    def run_mix(self, lo, hi, threshold=50.0):
+        ctx = build_context(seed=3)
+        policy = PreconfiguredPolicy(threshold)
+        policy.bind(ctx)
+        driver = ChurnDriver(
+            ctx,
+            policy,
+            ConstantDistribution(1000.0),
+            UniformDistribution(lo, hi),
+        )
+        driver.populate(300, warmup=10.0)
+        ctx.sim.run(until=20.0)
+        return ctx.overlay.layer_size_ratio()
+
+    def test_strong_arrivals_flood_super_layer(self):
+        """Figure 1(b): mostly-above-threshold arrivals -> tiny ratio."""
+        assert self.run_mix(40.0, 200.0) < 3.0
+
+    def test_weak_arrivals_starve_super_layer(self):
+        """Figure 1(c): mostly-below-threshold arrivals -> huge ratio."""
+        assert self.run_mix(1.0, 53.0) > 10.0
+
+    def test_never_adjusts_after_join(self):
+        ctx = build_context(seed=3)
+        policy = PreconfiguredPolicy(50.0)
+        policy.bind(ctx)
+        driver = ChurnDriver(
+            ctx,
+            policy,
+            ConstantDistribution(1000.0),
+            UniformDistribution(1.0, 100.0),
+        )
+        driver.populate(100, warmup=10.0)
+        ctx.sim.run(until=20.0)
+        assert ctx.overlay.total_promotions == 0
+        assert ctx.overlay.total_demotions == 0

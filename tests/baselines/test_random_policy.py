@@ -1,0 +1,56 @@
+"""Unit tests for the random-election baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.random_policy import RandomElectionPolicy
+from repro.churn.distributions import ConstantDistribution
+from repro.churn.lifecycle import ChurnDriver
+from repro.context import build_context
+from repro.overlay.roles import Role
+
+
+class TestRandomElection:
+    def test_cold_start_delegates(self, ctx):
+        policy = RandomElectionPolicy(eta=40.0)
+        policy.bind(ctx)
+        assert policy.role_for_new_peer(10.0) is None
+
+    def test_election_rate_near_equation_b(self, ctx):
+        policy = RandomElectionPolicy(eta=9.0)  # p_super = 0.1
+        policy.bind(ctx)
+        ctx.join.join(0.0, 10.0, 500.0, role=Role.SUPER)
+        supers = sum(
+            1 for _ in range(5000) if policy.role_for_new_peer(1.0) is Role.SUPER
+        )
+        assert supers == pytest.approx(500, rel=0.2)
+
+    def test_capacity_blind(self, ctx):
+        """Identical election probability regardless of capacity."""
+        policy = RandomElectionPolicy(eta=1.0)
+        policy.bind(ctx)
+        ctx.join.join(0.0, 10.0, 500.0, role=Role.SUPER)
+        weak = sum(
+            1 for _ in range(2000) if policy.role_for_new_peer(0.001) is Role.SUPER
+        )
+        strong = sum(
+            1 for _ in range(2000) if policy.role_for_new_peer(1e9) is Role.SUPER
+        )
+        assert weak == pytest.approx(1000, rel=0.15)
+        assert strong == pytest.approx(1000, rel=0.15)
+
+    def test_holds_ratio_under_churn(self):
+        ctx = build_context(seed=11)
+        policy = RandomElectionPolicy(eta=10.0)
+        policy.bind(ctx)
+        driver = ChurnDriver(
+            ctx, policy, ConstantDistribution(50.0), ConstantDistribution(10.0)
+        )
+        driver.populate(500, warmup=20.0)
+        ctx.sim.run(until=300.0)
+        assert ctx.overlay.layer_size_ratio() == pytest.approx(10.0, rel=0.5)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            RandomElectionPolicy(eta=0.0)

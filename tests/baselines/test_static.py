@@ -1,0 +1,33 @@
+"""Unit tests for the never-adjust baseline."""
+
+from __future__ import annotations
+
+from repro.baselines.static import StaticPolicy
+from repro.churn.distributions import ConstantDistribution
+from repro.churn.lifecycle import ChurnDriver
+from repro.context import build_context
+
+
+class TestStaticPolicy:
+    def test_delegates_role_choice(self, ctx):
+        policy = StaticPolicy()
+        policy.bind(ctx)
+        assert policy.role_for_new_peer(1e9) is None
+
+    def test_super_layer_decays_under_churn(self):
+        """§3 / Figure 1(c): without management the super-layer collapses
+        toward the cold-start floor as seeds die."""
+        ctx = build_context(seed=6)
+        policy = StaticPolicy()
+        policy.bind(ctx)
+        driver = ChurnDriver(
+            ctx, policy, ConstantDistribution(30.0), ConstantDistribution(10.0)
+        )
+        driver.populate(200, warmup=10.0)
+        ctx.sim.run(until=200.0)
+        # Only cold-start reseeding keeps any super alive at all.
+        assert ctx.overlay.n_super <= 2
+        assert ctx.overlay.total_promotions == 0
+
+    def test_name(self):
+        assert StaticPolicy.name == "static"

@@ -1,0 +1,138 @@
+"""Unit and integration tests for failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.static import StaticPolicy
+from repro.churn.distributions import ConstantDistribution
+from repro.churn.failures import FailureInjector
+from repro.churn.lifecycle import ChurnDriver
+from repro.context import build_context
+from repro.core import DLMPolicy, DLMConfig
+from repro.sim.processes import PeriodicProcess
+
+
+def build_static_system(n=200, seed=9):
+    ctx = build_context(seed=seed)
+    policy = StaticPolicy()
+    policy.bind(ctx)
+    driver = ChurnDriver(
+        ctx, policy, ConstantDistribution(10_000.0), ConstantDistribution(10.0)
+    )
+    driver.populate(n, warmup=10.0)
+    ctx.sim.run(until=20.0)
+    return ctx, driver
+
+
+class TestKillPeer:
+    def test_kill_cancels_scheduled_death(self):
+        ctx, driver = build_static_system()
+        pid = next(iter(ctx.overlay.leaf_ids))
+        pending = driver._leave_events[pid]
+        assert driver.kill_peer(pid, replace=False)
+        assert pid not in ctx.overlay
+        assert pending.cancelled  # the natural death will never fire
+        assert pid not in driver._leave_events
+
+    def test_kill_missing_peer_returns_false(self):
+        ctx, driver = build_static_system()
+        assert not driver.kill_peer(10_000, replace=False)
+
+    def test_kill_with_replace_spawns_join(self):
+        ctx, driver = build_static_system()
+        pid = next(iter(ctx.overlay.leaf_ids))
+        driver.kill_peer(pid, replace=True)
+        ctx.sim.run(until=21.0)
+        assert ctx.overlay.n == 200
+
+
+class TestMassDeparture:
+    def test_super_layer_fraction_removed(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        before = ctx.overlay.n_super
+        record = injector.execute(0.5, layer="super", replace_over=10.0)
+        assert record.supers_lost == max(1, round(0.5 * before))
+        assert record.leaves_lost == 0
+        ctx.overlay.check_invariants()
+
+    def test_leaf_layer_target(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        before = ctx.overlay.n_leaf
+        record = injector.execute(0.25, layer="leaf")
+        assert record.leaves_lost == pytest.approx(0.25 * before, rel=0.1)
+
+    def test_any_layer_proportional(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        record = injector.execute(0.2, layer="any")
+        assert record.victims == pytest.approx(0.2 * 200, rel=0.15)
+
+    def test_immediate_replacement_restores_population(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        injector.execute(0.3, layer="leaf")  # replace_over=None -> immediate
+        ctx.sim.run(until=21.0)
+        assert ctx.overlay.n == 200
+
+    def test_windowed_replacement_restores_population_gradually(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        record = injector.execute(0.3, layer="leaf", replace_over=50.0)
+        assert ctx.overlay.n == 200 - record.victims
+        ctx.sim.run(until=80.0)
+        assert ctx.overlay.n == 200
+
+    def test_scheduled_failure_fires(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        injector.schedule_mass_departure(100.0, 0.5, layer="super")
+        ctx.sim.run(until=99.0)
+        assert injector.records == []
+        ctx.sim.run(until=101.0)
+        assert len(injector.records) == 1
+        assert injector.records[0].time == 100.0
+
+    def test_validation(self):
+        ctx, driver = build_static_system()
+        injector = FailureInjector(driver)
+        with pytest.raises(ValueError):
+            injector.schedule_mass_departure(50.0, 0.0)
+        with pytest.raises(ValueError):
+            injector.schedule_mass_departure(50.0, 0.5, layer="middle")
+        with pytest.raises(ValueError):
+            injector.schedule_mass_departure(50.0, 0.5, replace_over=-1.0)
+
+
+class TestDLMRecovery:
+    def test_dlm_rebuilds_super_layer_after_backbone_massacre(self):
+        """Kill 80% of super-peers at once; DLM must restore the ratio."""
+        ctx = build_context(seed=13)
+        policy = DLMPolicy(DLMConfig(eta=20.0))
+        policy.bind(ctx)
+        PeriodicProcess(ctx.sim, 10.0, lambda s, now: ctx.maintenance.sweep(), kind="m")
+        from repro.churn.distributions import (
+            BandwidthMixture,
+            LogNormalDistribution,
+        )
+
+        driver = ChurnDriver(
+            ctx,
+            policy,
+            LogNormalDistribution(median=60.0, sigma=1.0),
+            BandwidthMixture(),
+        )
+        driver.populate(800, warmup=40.0)
+        injector = FailureInjector(driver)
+        ctx.sim.run(until=400.0)
+        settled = ctx.overlay.layer_size_ratio()
+        record = injector.execute(0.8, layer="super")
+        spiked = ctx.overlay.layer_size_ratio()
+        assert spiked > 2.5 * settled  # the failure really hurt
+        ctx.sim.run(until=800.0)
+        recovered = ctx.overlay.layer_size_ratio()
+        ctx.overlay.check_invariants()
+        assert recovered < 2.0 * 20.0  # back within sight of the target
+        assert record.supers_lost > 0

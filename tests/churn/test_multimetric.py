@@ -1,0 +1,99 @@
+"""Unit tests for multi-metric capacity sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.churn.distributions import ConstantDistribution, UniformDistribution
+from repro.churn.multimetric import (
+    CompositeCapacityDistribution,
+    default_multimetric_capacity,
+)
+from repro.core.capacity import CapacityModel
+
+
+@pytest.fixture
+def composite():
+    model = CapacityModel({"bandwidth": 0.5, "cpu": 0.5})
+    return CompositeCapacityDistribution(
+        model,
+        {
+            "bandwidth": ConstantDistribution(100.0),
+            "cpu": ConstantDistribution(10.0),
+        },
+    )
+
+
+class TestComposite:
+    def test_weighted_sum_of_constants(self, composite, rng):
+        np.testing.assert_allclose(composite.sample(rng, 5), 55.0)
+
+    def test_mean_is_weighted_metric_means(self, composite):
+        assert composite.mean == pytest.approx(55.0)
+
+    def test_global_scale(self, composite, rng):
+        composite.set_scale(2.0)
+        np.testing.assert_allclose(composite.sample(rng, 3), 110.0)
+        assert composite.mean == pytest.approx(110.0)
+
+    def test_shift_single_metric(self, composite, rng):
+        composite.shift_metric("cpu", 3.0)
+        np.testing.assert_allclose(composite.sample(rng, 3), 0.5 * 100 + 0.5 * 30)
+        assert composite.mean == pytest.approx(65.0)
+
+    def test_shift_unknown_metric(self, composite):
+        with pytest.raises(KeyError):
+            composite.shift_metric("luck", 2.0)
+
+    def test_metric_mismatch_rejected(self):
+        model = CapacityModel({"bandwidth": 1.0})
+        with pytest.raises(ValueError, match="mismatch"):
+            CompositeCapacityDistribution(
+                model, {"cpu": ConstantDistribution(1.0)}
+            )
+
+    def test_stochastic_mean_matches(self, rng):
+        model = CapacityModel({"a": 2.0, "b": 1.0})
+        dist = CompositeCapacityDistribution(
+            model,
+            {"a": UniformDistribution(0.0 + 1e-9, 10.0), "b": UniformDistribution(5.0, 15.0)},
+        )
+        samples = dist.sample(rng, 50_000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.05)
+
+
+class TestDefaultConfiguration:
+    def test_builds_and_samples(self, rng):
+        dist = default_multimetric_capacity()
+        s = dist.sample(rng, 1000)
+        assert np.all(s > 0)
+        assert s.mean() == pytest.approx(dist.mean, rel=0.2)
+
+    def test_drives_a_dlm_network(self):
+        """DLM runs unchanged on multi-metric capacities."""
+        from repro.churn.distributions import LogNormalDistribution
+        from repro.churn.lifecycle import ChurnDriver
+        from repro.context import build_context
+        from repro.core import DLMConfig, DLMPolicy
+        from repro.sim.processes import PeriodicProcess
+
+        ctx = build_context(seed=29)
+        policy = DLMPolicy(DLMConfig(eta=15.0))
+        policy.bind(ctx)
+        PeriodicProcess(ctx.sim, 10.0, lambda s, n: ctx.maintenance.sweep(), kind="m")
+        driver = ChurnDriver(
+            ctx,
+            policy,
+            LogNormalDistribution(median=60.0, sigma=1.0),
+            default_multimetric_capacity(),
+        )
+        driver.populate(500, warmup=30.0)
+        ctx.sim.run(until=400.0)
+        ctx.overlay.check_invariants()
+        # the two election goals still hold
+        sups = [ctx.overlay.peer(s) for s in ctx.overlay.super_ids]
+        leaves = [ctx.overlay.peer(l) for l in ctx.overlay.leaf_ids]
+        mean_sup = sum(p.capacity for p in sups) / len(sups)
+        mean_leaf = sum(p.capacity for p in leaves) / len(leaves)
+        assert mean_sup > mean_leaf

@@ -1,0 +1,84 @@
+"""Unit tests for scenario scripting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.scenarios import (
+    Scenario,
+    Shift,
+    figure45_scenario,
+    periodic_capacity_scenario,
+    periodic_lifetime_scenario,
+    stable_scenario,
+)
+
+
+class TestShift:
+    def test_valid_shift(self):
+        s = Shift(time=10.0, target="capacity", scale=2.0)
+        assert s.scale == 2.0
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            Shift(time=0.0, target="latency", scale=1.0)
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Shift(time=0.0, target="capacity", scale=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Shift(time=-1.0, target="capacity", scale=1.0)
+
+
+class TestScenario:
+    def test_sorted_shifts(self):
+        sc = Scenario(
+            "x",
+            shifts=(
+                Shift(20.0, "capacity", 2.0),
+                Shift(10.0, "lifetime", 0.5),
+            ),
+        )
+        assert [s.time for s in sc.sorted_shifts()] == [10.0, 20.0]
+
+    def test_len(self):
+        assert len(stable_scenario()) == 0
+
+
+class TestFactories:
+    def test_stable_has_no_shifts(self):
+        assert stable_scenario().shifts == ()
+
+    def test_figure45_matches_paper(self):
+        """§5: lifetime mean halved at t=300, capacity doubled at t=1000."""
+        sc = figure45_scenario()
+        shifts = sc.sorted_shifts()
+        assert shifts[0] == Shift(300.0, "lifetime", 0.5)
+        assert shifts[1] == Shift(1000.0, "capacity", 2.0)
+
+    def test_figure45_custom_times(self):
+        sc = figure45_scenario(lifetime_shift_at=30.0, capacity_shift_at=100.0)
+        assert [s.time for s in sc.sorted_shifts()] == [30.0, 100.0]
+
+    def test_periodic_capacity_alternates(self):
+        sc = periodic_capacity_scenario(period=100.0, horizon=450.0, start=100.0)
+        scales = [s.scale for s in sc.sorted_shifts()]
+        assert scales == [4.0, 1.0, 4.0, 1.0]
+        assert all(s.target == "capacity" for s in sc.shifts)
+
+    def test_periodic_lifetime_starts_low(self):
+        sc = periodic_lifetime_scenario(period=100.0, horizon=350.0, start=100.0)
+        scales = [s.scale for s in sc.sorted_shifts()]
+        assert scales == [0.5, 1.0, 0.5]
+        assert all(s.target == "lifetime" for s in sc.shifts)
+
+    def test_periodic_shift_times_spaced_by_period(self):
+        sc = periodic_capacity_scenario(period=250.0, horizon=2000.0, start=250.0)
+        times = [s.time for s in sc.sorted_shifts()]
+        assert times == [250.0 * i for i in range(1, 9)]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_capacity_scenario(period=0.0)

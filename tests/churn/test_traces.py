@@ -1,0 +1,160 @@
+"""Unit tests for churn traces and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.preconfigured import PreconfiguredPolicy
+from repro.churn.distributions import ConstantDistribution, UniformDistribution
+from repro.churn.traces import (
+    ChurnTrace,
+    TraceDriver,
+    TraceRecord,
+    synthesize_replacement_trace,
+)
+from repro.context import build_context
+from repro.core import DLMConfig, DLMPolicy
+
+
+@pytest.fixture
+def tiny_trace():
+    return ChurnTrace(
+        [
+            TraceRecord(0.0, 100.0, 50.0),
+            TraceRecord(1.0, 10.0, 30.0),
+            TraceRecord(2.0, 20.0, 40.0),
+        ]
+    )
+
+
+class TestTraceRecord:
+    def test_death_time(self):
+        assert TraceRecord(5.0, 1.0, 10.0).death_time == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, 1.0, 0.0)
+
+
+class TestChurnTrace:
+    def test_sorted_on_construction(self):
+        trace = ChurnTrace(
+            [TraceRecord(5.0, 1.0, 1.0), TraceRecord(1.0, 1.0, 1.0)]
+        )
+        assert [r.join_time for r in trace] == [1.0, 5.0]
+
+    def test_horizon(self, tiny_trace):
+        assert tiny_trace.horizon == 2.0
+        assert ChurnTrace([]).horizon == 0.0
+
+    def test_save_and_load_round_trip(self, tiny_trace, tmp_path):
+        path = tiny_trace.save(tmp_path / "trace.json")
+        loaded = ChurnTrace.load(path)
+        assert len(loaded) == 3
+        assert loaded.records == tiny_trace.records
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a churn trace"):
+            ChurnTrace.load(p)
+
+
+class TestSynthesis:
+    def test_warmup_population_then_replacements(self, rng):
+        trace = synthesize_replacement_trace(
+            50,
+            horizon=300.0,
+            lifetimes=ConstantDistribution(60.0),
+            capacities=ConstantDistribution(10.0),
+            rng=rng,
+            warmup=20.0,
+        )
+        # ~50 initial + one replacement per death in (warmup, 300]
+        assert len(trace) > 200
+        times = [r.join_time for r in trace]
+        assert times == sorted(times)
+        assert times[-1] <= 300.0
+
+    def test_replacements_at_death_instants(self, rng):
+        trace = synthesize_replacement_trace(
+            3,
+            horizon=100.0,
+            lifetimes=ConstantDistribution(10.0),
+            capacities=ConstantDistribution(1.0),
+            rng=rng,
+            warmup=0.0,
+        )
+        deaths = sorted(r.death_time for r in trace if r.death_time <= 100.0)
+        later_joins = sorted(r.join_time for r in trace if r.join_time > 0.0)
+        assert later_joins == pytest.approx(deaths[: len(later_joins)])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_replacement_trace(
+                -1, 10.0, ConstantDistribution(1.0), ConstantDistribution(1.0), rng
+            )
+        with pytest.raises(ValueError):
+            synthesize_replacement_trace(
+                1, 0.0, ConstantDistribution(1.0), ConstantDistribution(1.0), rng
+            )
+
+
+class TestReplay:
+    def make_trace(self, seed=77):
+        return synthesize_replacement_trace(
+            150,
+            horizon=200.0,
+            lifetimes=UniformDistribution(20.0, 80.0),
+            capacities=UniformDistribution(1.0, 200.0),
+            rng=np.random.default_rng(seed),
+            warmup=20.0,
+        )
+
+    def test_replay_reaches_steady_population(self):
+        trace = self.make_trace()
+        ctx = build_context(seed=1)
+        policy = DLMPolicy(DLMConfig(eta=10.0))
+        policy.bind(ctx)
+        driver = TraceDriver(ctx, policy, trace)
+        ctx.sim.run(until=200.0)
+        assert driver.joins == len(trace)
+        assert ctx.overlay.n == pytest.approx(150, abs=15)
+        ctx.overlay.check_invariants()
+
+    def test_identical_arrivals_across_policies(self):
+        """The whole point of traces: both policies see the same peers."""
+        trace = self.make_trace()
+
+        def capacities_seen(policy_factory):
+            ctx = build_context(seed=5)
+            policy = policy_factory()
+            policy.bind(ctx)
+            TraceDriver(ctx, policy, trace)
+            ctx.sim.run(until=200.0)
+            return sorted(round(p.capacity, 9) for p in ctx.overlay.peers())
+
+        dlm_caps = capacities_seen(lambda: DLMPolicy(DLMConfig(eta=10.0)))
+        pre_caps = capacities_seen(lambda: PreconfiguredPolicy(50.0))
+        assert dlm_caps == pre_caps
+
+    def test_same_seed_same_topology(self):
+        trace = self.make_trace()
+
+        def final_edges(seed):
+            ctx = build_context(seed=seed)
+            policy = DLMPolicy(DLMConfig(eta=10.0))
+            policy.bind(ctx)
+            TraceDriver(ctx, policy, trace)
+            ctx.sim.run(until=200.0)
+            return sorted(
+                (p.pid, tuple(sorted(p.super_neighbors)))
+                for p in ctx.overlay.peers()
+            )
+
+        assert final_edges(9) == final_edges(9)

@@ -1,0 +1,73 @@
+"""Unit tests for the Definition-1 capacity combiner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityModel, bandwidth_only_model
+
+
+class TestCombine:
+    def test_weighted_sum(self):
+        model = CapacityModel({"bandwidth": 0.5, "cpu": 0.3, "storage": 0.2})
+        assert model.combine(
+            {"bandwidth": 100.0, "cpu": 10.0, "storage": 50.0}
+        ) == pytest.approx(0.5 * 100 + 0.3 * 10 + 0.2 * 50)
+
+    def test_missing_metric_rejected(self):
+        model = CapacityModel({"bandwidth": 1.0, "cpu": 1.0})
+        with pytest.raises(ValueError, match="missing"):
+            model.combine({"bandwidth": 1.0})
+
+    def test_unknown_metric_rejected(self):
+        model = CapacityModel({"bandwidth": 1.0})
+        with pytest.raises(ValueError, match="unknown"):
+            model.combine({"bandwidth": 1.0, "luck": 3.0})
+
+    def test_single_metric_identity(self):
+        model = bandwidth_only_model()
+        assert model.combine({"bandwidth": 42.0}) == 42.0
+
+
+class TestCombineMany:
+    def test_vectorized_matches_scalar(self):
+        model = CapacityModel({"a": 2.0, "b": 3.0})
+        cols = {"a": np.array([1.0, 2.0]), "b": np.array([10.0, 20.0])}
+        out = model.combine_many(cols)
+        expected = [model.combine({"a": 1.0, "b": 10.0}), model.combine({"a": 2.0, "b": 20.0})]
+        np.testing.assert_allclose(out, expected)
+
+    def test_ragged_columns_rejected(self):
+        model = CapacityModel({"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError, match="ragged"):
+            model.combine_many({"a": np.zeros(2), "b": np.zeros(3)})
+
+    def test_missing_column_rejected(self):
+        model = CapacityModel({"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError, match="missing"):
+            model.combine_many({"a": np.zeros(2)})
+
+
+class TestModelValidation:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityModel({})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityModel({"bandwidth": 0.0})
+
+    def test_metrics_sorted_stable(self):
+        model = CapacityModel({"z": 1.0, "a": 1.0})
+        assert model.metrics == ("a", "z")
+
+    def test_normalized(self):
+        model = CapacityModel({"a": 2.0, "b": 6.0}).normalized()
+        assert sum(model.weights.values()) == pytest.approx(1.0)
+        assert model.weights["b"] == pytest.approx(0.75)
+
+    def test_bandwidth_only_model_is_paper_simulation_choice(self):
+        model = bandwidth_only_model()
+        assert model.metrics == ("bandwidth",)
+        assert model.weights["bandwidth"] == 1.0

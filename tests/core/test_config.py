@@ -1,0 +1,72 @@
+"""Unit tests for DLMConfig validation and derived values."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import DLMConfig
+
+
+class TestDefaults:
+    def test_table2_defaults(self):
+        cfg = DLMConfig()
+        assert cfg.eta == 40.0
+        assert cfg.m == 2
+        assert cfg.k_s == 3
+        assert cfg.k_l == 80.0
+
+    def test_kl_follows_equation_a(self):
+        assert DLMConfig(eta=10.0, m=3).k_l == 30.0
+
+    def test_event_driven_by_default_without_refresh_traffic(self):
+        cfg = DLMConfig()
+        assert cfg.event_driven
+        assert cfg.periodic_interval is None
+        assert cfg.evaluation_interval is not None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eta": 0.0},
+            {"m": 0},
+            {"k_s": 0},
+            {"alpha": -1.0},
+            {"beta": -0.5},
+            {"z_promote_base": 0.0},
+            {"z_promote_base": 1.0},
+            {"z_demote_base": 1.5},
+            {"x_min": 0.0},
+            {"x_min": 2.0},
+            {"x_max": 0.5},
+            {"z_min": 0.0},
+            {"z_min": 0.99, "z_max": 0.98},
+            {"min_related_set": 0},
+            {"force_demote_prob": 1.5},
+            {"action_prob": 0.0},
+            {"action_prob": 1.1},
+            {"min_supers": 0},
+            {"periodic_interval": 0.0},
+            {"evaluation_interval": -1.0},
+        ],
+        ids=lambda kw: ",".join(kw),
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DLMConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = DLMConfig()
+        with pytest.raises(AttributeError):
+            cfg.eta = 10.0  # type: ignore[misc]
+
+    def test_force_demote_can_be_disabled(self):
+        cfg = DLMConfig(force_demote_mu=-math.inf)
+        assert cfg.force_demote_mu == -math.inf
+
+    def test_periodic_and_evaluation_can_be_disabled(self):
+        cfg = DLMConfig(periodic_interval=None, evaluation_interval=None)
+        assert cfg.periodic_interval is None and cfg.evaluation_interval is None

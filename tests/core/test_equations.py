@@ -1,0 +1,84 @@
+"""Unit tests for the §3 structural equations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.equations import (
+    expected_leaf_count,
+    expected_super_count,
+    layer_size_ratio,
+    mu_inappropriateness,
+    optimal_leaf_neighbors,
+)
+
+
+class TestLayerSizeRatio:
+    def test_basic(self):
+        assert layer_size_ratio(48_780, 1_220) == pytest.approx(39.98, abs=0.01)
+
+    def test_empty_super_layer(self):
+        assert layer_size_ratio(10, 0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            layer_size_ratio(-1, 1)
+
+
+class TestEquationA:
+    def test_paper_parameters(self):
+        """Table 2: m=2, eta=40 -> k_l = 80."""
+        assert optimal_leaf_neighbors(2, 40.0) == 80.0
+
+    def test_linear_in_both(self):
+        assert optimal_leaf_neighbors(4, 10.0) == 40.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_leaf_neighbors(0, 40.0)
+        with pytest.raises(ValueError):
+            optimal_leaf_neighbors(2, 0.0)
+
+
+class TestEquationB:
+    def test_paper_parameters(self):
+        """Table 2: n=50000, eta=40 -> n_s ~ 1220."""
+        assert expected_super_count(50_000, 40.0) == pytest.approx(1219.5, abs=0.1)
+
+    def test_counts_sum_to_n(self):
+        n, eta = 12_345, 17.5
+        assert expected_super_count(n, eta) + expected_leaf_count(n, eta) == pytest.approx(n)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_super_count(-1, 40.0)
+        with pytest.raises(ValueError):
+            expected_super_count(10, -1.0)
+
+
+class TestMu:
+    def test_zero_at_optimum(self):
+        assert mu_inappropriateness(80.0, 80.0) == 0.0
+
+    def test_positive_means_too_few_supers(self):
+        """§4 Phase 2: l_nn > k_l => too few super-peers => mu > 0."""
+        assert mu_inappropriateness(160.0, 80.0) == pytest.approx(math.log(2))
+
+    def test_negative_means_too_many_supers(self):
+        assert mu_inappropriateness(40.0, 80.0) == pytest.approx(-math.log(2))
+
+    def test_zero_lnn_floored_finite(self):
+        mu = mu_inappropriateness(0.0, 80.0)
+        assert math.isfinite(mu) and mu < math.log(1 / 80.0)
+
+    def test_monotone_in_lnn(self):
+        mus = [mu_inappropriateness(l, 80.0) for l in (1, 10, 40, 80, 160, 640)]
+        assert mus == sorted(mus)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mu_inappropriateness(1.0, 0.0)
+        with pytest.raises(ValueError):
+            mu_inappropriateness(-1.0, 80.0)

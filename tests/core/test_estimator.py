@@ -1,0 +1,76 @@
+"""Unit tests for the Phase-2 µ estimator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import DLMConfig
+from repro.core.estimator import RatioEstimator
+from repro.core.related_set import RelatedSetView, leaf_related_set
+from repro.overlay.roles import Role
+from repro.overlay.topology import Overlay
+from tests.conftest import make_peer
+
+
+@pytest.fixture
+def estimator():
+    return RatioEstimator(DLMConfig(eta=40.0, m=2))  # k_l = 80
+
+
+class TestSuperMu:
+    def test_zero_at_kl(self, estimator):
+        sup = make_peer(0, Role.SUPER)
+        sup.leaf_neighbors.update(range(100, 180))  # exactly 80
+        assert estimator.mu_for_super(sup) == pytest.approx(0.0)
+
+    def test_positive_when_overloaded(self, estimator):
+        """l_nn = 160 > k_l: too few supers, mu = log 2."""
+        sup = make_peer(0, Role.SUPER)
+        sup.leaf_neighbors.update(range(100, 260))
+        assert estimator.mu_for_super(sup) == pytest.approx(math.log(2))
+
+    def test_negative_when_underloaded(self, estimator):
+        sup = make_peer(0, Role.SUPER)
+        sup.leaf_neighbors.update(range(100, 140))  # 40
+        assert estimator.mu_for_super(sup) == pytest.approx(-math.log(2))
+
+    def test_leafless_super_strongly_negative_but_finite(self, estimator):
+        sup = make_peer(0, Role.SUPER)
+        mu = estimator.mu_for_super(sup)
+        assert math.isfinite(mu) and mu < -3
+
+
+class TestLeafMu:
+    def test_uses_mean_lnn_over_g(self, estimator):
+        view = RelatedSetView(
+            members=(1, 2),
+            capacities=(1.0, 1.0),
+            ages=(1.0, 1.0),
+            leaf_counts=(60, 100),  # mean 80 = k_l
+        )
+        assert estimator.mu_for_leaf(view) == pytest.approx(0.0)
+
+    def test_none_for_empty_g(self, estimator):
+        view = RelatedSetView(members=(), capacities=(), ages=())
+        assert estimator.mu_for_leaf(view) is None
+
+    def test_sign_matches_global_imbalance(self, estimator):
+        crowded = RelatedSetView((1,), (1.0,), (1.0,), (160,))
+        sparse = RelatedSetView((1,), (1.0,), (1.0,), (20,))
+        assert estimator.mu_for_leaf(crowded) > 0
+        assert estimator.mu_for_leaf(sparse) < 0
+
+
+class TestRoleDispatch:
+    def test_mu_for_dispatches_by_role(self, estimator):
+        ov = Overlay()
+        sup = make_peer(0, Role.SUPER)
+        leaf = make_peer(1, Role.LEAF)
+        ov.add_peer(sup)
+        ov.add_peer(leaf)
+        ov.connect(1, 0)
+        view = leaf_related_set(ov, leaf, now=1.0)
+        assert estimator.mu_for(ov, leaf, view) == estimator.mu_for_leaf(view)
+        assert estimator.mu_for(ov, sup, view) == estimator.mu_for_super(sup)

@@ -1,0 +1,83 @@
+"""Unit tests for Definition-3 related sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.related_set import leaf_related_set, super_related_set
+from repro.overlay.roles import Role
+from repro.overlay.topology import Overlay
+from tests.conftest import make_peer
+
+
+@pytest.fixture
+def overlay():
+    ov = Overlay()
+    ov.add_peer(make_peer(0, Role.SUPER, capacity=200.0, join_time=0.0))
+    ov.add_peer(make_peer(1, Role.SUPER, capacity=300.0, join_time=5.0))
+    ov.add_peer(make_peer(10, Role.LEAF, capacity=50.0, join_time=10.0))
+    ov.add_peer(make_peer(11, Role.LEAF, capacity=60.0, join_time=12.0))
+    ov.connect(10, 0)
+    ov.connect(10, 1)
+    ov.connect(11, 0)
+    return ov
+
+
+class TestSuperRelatedSet:
+    def test_contains_current_leaves(self, overlay):
+        view = super_related_set(overlay, overlay.peer(0), now=20.0)
+        assert sorted(view.members) == [10, 11]
+        assert sorted(view.capacities) == [50.0, 60.0]
+
+    def test_ages_computed_at_now(self, overlay):
+        view = super_related_set(overlay, overlay.peer(0), now=20.0)
+        by_member = dict(zip(view.members, view.ages))
+        assert by_member[10] == 10.0 and by_member[11] == 8.0
+
+    def test_empty_for_leafless_super(self, overlay):
+        ov = overlay
+        ov.disconnect(10, 1)
+        view = super_related_set(ov, ov.peer(1), now=20.0)
+        assert len(view) == 0
+
+    def test_no_leaf_counts_for_super_view(self, overlay):
+        view = super_related_set(overlay, overlay.peer(0), now=20.0)
+        assert view.leaf_counts == ()
+
+
+class TestLeafRelatedSet:
+    def test_contains_contacted_supers_with_lnn(self, overlay):
+        view = leaf_related_set(overlay, overlay.peer(10), now=20.0)
+        assert sorted(view.members) == [0, 1]
+        by_member = dict(zip(view.members, view.leaf_counts))
+        assert by_member[0] == 2  # super 0 serves leaves 10 and 11
+        assert by_member[1] == 1
+
+    def test_mean_leaf_count(self, overlay):
+        view = leaf_related_set(overlay, overlay.peer(10), now=20.0)
+        assert view.mean_leaf_count == pytest.approx(1.5)
+
+    def test_keeps_history_beyond_current_links(self, overlay):
+        """G(l) covers supers contacted since join, not just current."""
+        overlay.disconnect(10, 1)
+        view = leaf_related_set(overlay, overlay.peer(10), now=20.0)
+        assert sorted(view.members) == [0, 1]
+
+    def test_prunes_departed_supers(self, overlay):
+        overlay.remove_peer(1)
+        leaf = overlay.peer(10)
+        view = leaf_related_set(overlay, leaf, now=20.0)
+        assert view.members == (0,)
+        assert leaf.contacted_supers == {0}  # lazily pruned
+
+    def test_prunes_demoted_supers(self, overlay, rng):
+        overlay.demote(1, 2, rng)
+        leaf = overlay.peer(10)
+        view = leaf_related_set(overlay, leaf, now=20.0)
+        assert view.members == (0,)
+
+    def test_empty_view_mean_is_zero(self, overlay):
+        fresh = make_peer(99, Role.LEAF, join_time=15.0)
+        overlay.add_peer(fresh)
+        view = leaf_related_set(overlay, fresh, now=20.0)
+        assert len(view) == 0 and view.mean_leaf_count == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for the transition executor (Figures 2-3 + overhead)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transitions import TransitionExecutor
+from repro.overlay.roles import Role
+
+
+@pytest.fixture
+def populated(ctx):
+    """Context with 5 supers and 6 leaves wired through the join proc."""
+    for _ in range(5):
+        ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)
+    leaves = [ctx.join.join(1.0, 10.0, 500.0) for _ in range(6)]
+    return ctx, leaves
+
+
+class TestPromote:
+    def test_promote_leaf(self, populated):
+        ctx, leaves = populated
+        ex = TransitionExecutor(ctx)
+        assert ex.promote(leaves[0].pid)
+        peer = ctx.overlay.peer(leaves[0].pid)
+        assert peer.is_super
+        assert len(peer.super_neighbors) >= ctx.k_s  # backbone topped up
+        ctx.overlay.check_invariants()
+
+    def test_promotion_counted_no_pao(self, populated):
+        """§6: 'the promotion process does not cause PAO'."""
+        ctx, leaves = populated
+        ex = TransitionExecutor(ctx)
+        ex.promote(leaves[0].pid)
+        assert ctx.overhead.counters.promotions == 1
+        assert ctx.overhead.counters.pao_connections == 0
+
+    def test_promote_super_is_noop(self, populated):
+        ctx, _ = populated
+        ex = TransitionExecutor(ctx)
+        sid = next(iter(ctx.overlay.super_ids))
+        assert not ex.promote(sid)
+
+    def test_promote_missing_peer(self, populated):
+        ctx, _ = populated
+        assert not TransitionExecutor(ctx).promote(999)
+
+    def test_role_change_time_updated(self, populated):
+        ctx, leaves = populated
+        ctx.sim.schedule(5.0, "noop")
+        ctx.sim.run()
+        TransitionExecutor(ctx).promote(leaves[0].pid)
+        assert ctx.overlay.peer(leaves[0].pid).role_change_time == ctx.now
+
+
+class TestDemote:
+    def test_demote_super_records_pao(self, populated):
+        ctx, leaves = populated
+        ex = TransitionExecutor(ctx)
+        # find a super with leaves
+        sid = max(ctx.overlay.super_ids, key=lambda s: len(ctx.overlay.peer(s).leaf_neighbors))
+        n_leaves = len(ctx.overlay.peer(sid).leaf_neighbors)
+        assert n_leaves > 0
+        assert ex.demote(sid)
+        c = ctx.overhead.counters
+        assert c.demotions == 1
+        assert c.demotion_orphans == n_leaves
+        assert c.pao_connections == n_leaves  # one reconnect each
+        ctx.overlay.check_invariants()
+
+    def test_demote_respects_min_supers_floor(self, ctx):
+        for _ in range(2):
+            ctx.join.join(0.0, 100.0, 500.0, role=Role.SUPER)
+        ex = TransitionExecutor(ctx, min_supers=2)
+        sid = next(iter(ctx.overlay.super_ids))
+        assert not ex.demote(sid)
+        assert ctx.overlay.n_super == 2
+
+    def test_demote_leaf_is_noop(self, populated):
+        ctx, leaves = populated
+        assert not TransitionExecutor(ctx).demote(leaves[0].pid)
+
+    def test_invalid_min_supers(self, ctx):
+        with pytest.raises(ValueError):
+            TransitionExecutor(ctx, min_supers=0)
+
+
+class TestApply:
+    def test_apply_moves_to_target_role(self, populated):
+        ctx, leaves = populated
+        ex = TransitionExecutor(ctx)
+        assert ex.apply(leaves[0].pid, Role.SUPER)
+        assert ctx.overlay.peer(leaves[0].pid).is_super
+        assert ex.apply(leaves[0].pid, Role.LEAF)
+        assert ctx.overlay.peer(leaves[0].pid).is_leaf
+
+    def test_apply_same_role_is_noop(self, populated):
+        ctx, leaves = populated
+        ex = TransitionExecutor(ctx)
+        assert not ex.apply(leaves[0].pid, Role.LEAF)
+
+    def test_apply_missing_peer(self, populated):
+        ctx, _ = populated
+        assert not TransitionExecutor(ctx).apply(12345, Role.SUPER)

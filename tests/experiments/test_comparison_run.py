@@ -1,0 +1,79 @@
+"""Unit tests for the Figure-7/8 comparison-run plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.churn.distributions import BandwidthMixture
+from repro.experiments.comparison_run import (
+    comparison_scenario,
+    matched_threshold,
+    run_comparison,
+)
+from repro.experiments.configs import SearchConfig, bench_config
+
+
+class TestMatchedThreshold:
+    def test_admits_equation_b_fraction(self):
+        """The threshold puts 1/(1+eta) of baseline arrivals above it."""
+        eta = 40.0
+        threshold = matched_threshold(eta)
+        rng = np.random.default_rng(123)
+        caps = BandwidthMixture().sample(rng, 100_000)
+        frac_above = float((caps >= threshold).mean())
+        assert frac_above == pytest.approx(1.0 / (1.0 + eta), rel=0.1)
+
+    def test_monotone_in_eta(self):
+        """Larger eta -> fewer supers wanted -> higher bar."""
+        assert matched_threshold(40.0) > matched_threshold(5.0)
+
+    def test_deterministic(self):
+        assert matched_threshold(40.0) == matched_threshold(40.0)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            matched_threshold(0.0)
+
+
+class TestComparisonScenario:
+    def test_period_is_an_eighth_of_horizon(self):
+        cfg = bench_config().with_(horizon=1600.0)
+        scenario = comparison_scenario(cfg)
+        times = [s.time for s in scenario.sorted_shifts()]
+        assert times[0] == 200.0
+        assert times[1] - times[0] == 200.0
+
+    def test_targets_capacity_only(self):
+        cfg = bench_config()
+        assert all(
+            s.target == "capacity" for s in comparison_scenario(cfg).shifts
+        )
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def paired(self):
+        cfg = bench_config().with_(
+            n=250, horizon=250.0, warmup=30.0, seed=12,
+            search=SearchConfig(query_rate=2.0, n_objects=400),
+        )
+        return run_comparison(cfg)
+
+    def test_both_policies_ran_the_same_workload(self, paired):
+        assert paired.dlm.config.n == paired.preconfigured.config.n
+        assert paired.dlm.policy.name == "dlm"
+        assert paired.preconfigured.policy.name == "preconfigured"
+
+    def test_search_enabled_on_both(self, paired):
+        assert paired.dlm.query_stats.issued > 0
+        assert paired.preconfigured.query_stats.issued > 0
+
+    def test_search_config_added_when_missing(self):
+        cfg = bench_config().with_(n=200, horizon=200.0, warmup=30.0, seed=12)
+        assert cfg.search is None
+        paired = run_comparison(cfg)
+        assert paired.dlm.query_stats is not None
+
+    def test_threshold_recorded(self, paired):
+        assert paired.threshold == matched_threshold(paired.dlm.config.eta)

@@ -1,0 +1,51 @@
+"""Tests for the shared Figure-4/5/6 dynamic-run plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import bench_config
+from repro.experiments.dynamic_run import run_dynamic_scenario, scaled_scenario
+
+
+class TestScaledScenario:
+    def test_paper_times_at_full_horizon(self):
+        """horizon=2000 -> shifts at exactly t=300 and t=1000 (§5)."""
+        cfg = bench_config()  # horizon 2000
+        shifts = scaled_scenario(cfg).sorted_shifts()
+        assert shifts[0].time == 300.0 and shifts[0].target == "lifetime"
+        assert shifts[0].scale == 0.5
+        assert shifts[1].time == 1000.0 and shifts[1].target == "capacity"
+        assert shifts[1].scale == 2.0
+
+    def test_times_scale_with_horizon(self):
+        cfg = bench_config().with_(horizon=400.0)
+        shifts = scaled_scenario(cfg).sorted_shifts()
+        assert shifts[0].time == pytest.approx(60.0)
+        assert shifts[1].time == pytest.approx(200.0)
+
+
+class TestDynamicRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = bench_config().with_(n=250, horizon=300.0, warmup=30.0, seed=14)
+        return run_dynamic_scenario(cfg)
+
+    def test_records_shift_times(self, run):
+        assert run.lifetime_shift_at == pytest.approx(45.0)
+        assert run.capacity_shift_at == pytest.approx(150.0)
+
+    def test_shifts_actually_applied(self, run):
+        """Peers joining after the capacity shift carry ~2x capacities."""
+        overlay = run.result.overlay
+        early = [
+            p.capacity for p in overlay.peers() if p.join_time < run.capacity_shift_at
+        ]
+        late = [
+            p.capacity for p in overlay.peers() if p.join_time > run.capacity_shift_at
+        ]
+        assert early and late
+        assert sum(late) / len(late) > 1.3 * (sum(early) / len(early))
+
+    def test_run_completed_to_horizon(self, run):
+        assert run.result.ctx.now == 300.0

@@ -1,0 +1,72 @@
+"""Tests for the Figure 2/3 mechanics demonstrations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure23 import run_figure2, run_figure23, run_figure3
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure2()
+
+    def test_paper_wiring_before(self, result):
+        before = {row[0]: row for row in result.before}
+        assert before["I"][2] == "S1"
+        assert before["G"][2] == "S2"
+        assert before["L"][2] == "S1 S2"
+
+    def test_promotion_keeps_connections(self, result):
+        """Figure 2's caption: L's links survive the transition."""
+        after = {row[0]: row for row in result.after}
+        assert after["L"][1] == "super"
+        assert after["L"][2] == "S1 S2"
+
+    def test_other_peers_untouched(self, result):
+        before = {row[0]: row[2] for row in result.before}
+        after = {row[0]: row[2] for row in result.after}
+        for label in ("I", "F", "G"):
+            assert before[label] == after[label]
+
+    def test_no_orphans(self, result):
+        assert result.orphans == ()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure3()
+
+    def test_demoted_keeps_m_super_links(self, result):
+        after = {row[0]: row for row in result.after}
+        assert after["S"][1] == "leaf"
+        kept = after["S"][2].split()
+        assert len(kept) == 2
+        assert set(kept) <= {"S1", "S2", "S3"}
+
+    def test_all_leaves_orphaned(self, result):
+        assert sorted(result.orphans) == ["F", "G", "I"]
+
+    def test_orphans_reconnected_elsewhere(self, result):
+        after = {row[0]: row for row in result.after}
+        for label in ("I", "F", "G"):
+            links = after[label][2].split()
+            assert links and "S" not in links
+
+
+class TestFigure23:
+    def test_combined_shape(self):
+        result = run_figure23()
+        shape = result.check_shape()
+        assert shape["promoted_peer_is_super"]
+        assert shape["promoted_keeps_s1_s2"]
+        assert shape["demoted_peer_is_leaf"]
+        assert shape["demoted_kept_links"] == 2
+        assert shape["orphans"] == 3
+
+    def test_render_contains_both(self):
+        out = run_figure23().render()
+        assert "Figure 2" in out and "Figure 3" in out
+        assert "before" in out and "after" in out

@@ -1,0 +1,98 @@
+"""Unit tests for the experiment registry and CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser
+from repro.experiments.registry import EXPERIMENTS, all_ids, get_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        """DESIGN.md section 3: every reproduced figure/table has a harness."""
+        assert set(all_ids()) == {
+            "figure1",
+            "figure2_3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "table3",
+        }
+
+    def test_lookup(self):
+        exp = get_experiment("figure4")
+        assert exp.paper_artifact == "Figure 4"
+        assert callable(exp.run)
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(KeyError, match="figure4"):
+            get_experiment("figure99")
+
+    def test_descriptions_non_empty(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.description
+
+
+class TestCliParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure6"])
+        assert args.experiment == "figure6" and not args.full
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table3", "--full", "--n", "500", "--horizon", "100", "--seed", "9"]
+        )
+        assert args.full and args.n == 500 and args.horizon == 100.0 and args.seed == 9
+
+    def test_list_accepted(self):
+        assert build_parser().parse_args(["list"]).experiment == "list"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestCliMain:
+    def test_list_runs(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "table3" in out
+
+    def test_runs_an_experiment_end_to_end(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["figure6", "--n", "300", "--horizon", "250", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "shape metrics:" in out
+        assert "tail_ratio_mean" in out
+
+    def test_save_writes_artifacts(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "artifacts"
+        assert main(["figure2_3", "--save", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "figure2_3.txt").exists()
+        assert (out / "figure2_3_shape.json").exists()
+        import json
+
+        shape = json.loads((out / "figure2_3_shape.json").read_text())
+        assert shape["orphans"] == 3
+
+    def test_table3_with_custom_n(self, capsys):
+        from repro.experiments.cli import main
+
+        # --n routes table3 through the single-size adapter; keep the
+        # run small by overriding the horizon-independent window via the
+        # bench default (the adapter uses run_table3 defaults otherwise),
+        # so just assert the command completes and renders.
+        assert main(["table3", "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "PAO/NLCO" in out

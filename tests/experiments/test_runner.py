@@ -1,0 +1,80 @@
+"""Unit tests for the experiment runner (small, fast runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.preconfigured import PreconfiguredPolicy
+from repro.churn.scenarios import Scenario, Shift
+from repro.experiments.configs import SearchConfig, bench_config
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    cfg = bench_config().with_(n=300, horizon=200.0, warmup=20.0, seed=1)
+    return run_experiment(cfg)
+
+
+class TestRunExperiment:
+    def test_population_reached(self, tiny_result):
+        assert tiny_result.overlay.n == 300
+
+    def test_series_recorded_over_horizon(self, tiny_result):
+        ratio = tiny_result.series["ratio"]
+        assert len(ratio) == 20  # every 10 units over 200
+        assert ratio.times[-1] == 200.0
+
+    def test_overlay_invariants_after_run(self, tiny_result):
+        tiny_result.overlay.check_invariants()
+
+    def test_dlm_policy_active(self, tiny_result):
+        assert tiny_result.policy.name == "dlm"
+        assert tiny_result.policy.promotions > 0
+
+    def test_no_search_plane_by_default(self, tiny_result):
+        assert tiny_result.workload is None
+        assert tiny_result.query_stats is None
+
+    def test_wire_only_mode(self):
+        cfg = bench_config().with_(n=100, horizon=50.0, warmup=10.0)
+        result = run_experiment(cfg, run=False)
+        assert result.ctx.sim.now == 0.0
+        assert result.overlay.n == 0
+        result.ctx.sim.run(until=cfg.horizon)
+        assert result.overlay.n == 100
+
+
+class TestPolicyFactory:
+    def test_custom_policy(self):
+        cfg = bench_config().with_(n=200, horizon=100.0, warmup=20.0)
+        result = run_experiment(
+            cfg, policy_factory=lambda c: PreconfiguredPolicy(50.0)
+        )
+        assert result.policy.name == "preconfigured"
+        assert result.overlay.total_promotions == 0
+
+
+class TestScenarioWiring:
+    def test_shift_applied(self):
+        cfg = bench_config().with_(n=200, horizon=150.0, warmup=20.0)
+        scenario = Scenario("t", shifts=(Shift(100.0, "capacity", 10.0),))
+        result = run_experiment(cfg, scenario=scenario)
+        # capacity of latest joiners reflects the x10 shift
+        newest = max(result.overlay.peers(), key=lambda p: p.join_time)
+        assert newest.join_time > 100.0
+
+
+class TestSearchWiring:
+    def test_search_plane_active(self):
+        cfg = bench_config().with_(
+            n=200,
+            horizon=100.0,
+            warmup=20.0,
+            search=SearchConfig(query_rate=2.0, n_objects=500),
+        )
+        result = run_experiment(cfg)
+        stats = result.query_stats
+        assert stats is not None and stats.issued > 50
+        assert 0.0 <= stats.success_rate <= 1.0
+        result.directory.check_consistency()

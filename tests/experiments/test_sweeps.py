@@ -1,0 +1,55 @@
+"""Unit tests for the DLM parameter sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import bench_config
+from repro.experiments.sweeps import SweepPoint, sweep_dlm_parameters
+
+TINY = bench_config().with_(n=200, horizon=150.0, warmup=20.0, seed=2)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep_dlm_parameters(
+            {"alpha": [1.0, 2.0], "action_prob": [0.15]}, config=TINY
+        )
+
+    def test_one_point_per_combination(self, result):
+        assert len(result.points) == 2
+        alphas = sorted(p.params["alpha"] for p in result.points)
+        assert alphas == [1.0, 2.0]
+
+    def test_points_carry_scores(self, result):
+        for p in result.points:
+            assert p.tail_ratio > 0
+            assert p.tail_error >= 0
+            assert p.score >= p.tail_error
+
+    def test_best_is_minimum_score(self, result):
+        best = result.best()
+        assert best.score == min(p.score for p in result.points)
+
+    def test_render_lists_all_points(self, result):
+        out = result.render()
+        assert "alpha" in out and "score" in out
+        assert out.count("\n") >= 3
+
+    def test_unknown_field_rejected_before_running(self):
+        with pytest.raises(ValueError, match="unknown DLMConfig fields"):
+            sweep_dlm_parameters({"not_a_field": [1]}, config=TINY)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep_dlm_parameters({}, config=TINY)
+
+
+class TestSweepPoint:
+    def test_score_formula(self):
+        p = SweepPoint(
+            params={}, tail_ratio=40.0, tail_error=0.1, tail_swing=0.2,
+            promotions=1, demotions=1,
+        )
+        assert p.score == pytest.approx(0.1 + 0.5 * 0.2)

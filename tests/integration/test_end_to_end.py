@@ -1,0 +1,117 @@
+"""End-to-end integration: full systems under churn, invariants + shapes.
+
+These run real (small) simulations and assert the paper's qualitative
+claims -- they are the fast cousins of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import analyze_ratio_convergence
+from repro.analysis.graphstats import backbone_connectivity
+from repro.analysis.validation import validate_equation_a
+from repro.baselines.preconfigured import PreconfiguredPolicy
+from repro.experiments.comparison_run import matched_threshold
+from repro.experiments.configs import SearchConfig, bench_config
+from repro.experiments.runner import run_experiment
+
+BASE = bench_config().with_(n=800, horizon=600.0, warmup=50.0, seed=21, eta=20.0)
+
+
+@pytest.fixture(scope="module")
+def dlm_run():
+    return run_experiment(BASE)
+
+
+@pytest.fixture(scope="module")
+def preconfigured_run():
+    threshold = matched_threshold(BASE.eta)
+    return run_experiment(
+        BASE, policy_factory=lambda c: PreconfiguredPolicy(threshold)
+    )
+
+
+class TestDLMSystem:
+    def test_invariants_after_long_churn(self, dlm_run):
+        dlm_run.overlay.check_invariants()
+
+    def test_population_steady(self, dlm_run):
+        assert dlm_run.overlay.n == BASE.n
+
+    def test_ratio_converges_to_eta(self, dlm_run):
+        report = analyze_ratio_convergence(
+            dlm_run.series["ratio"], BASE.eta, tolerance=0.35
+        )
+        assert report.tail_error < 0.35
+
+    def test_super_layer_older_than_leaf_layer(self, dlm_run):
+        """Figure 4's headline claim at steady state."""
+        sup = dlm_run.series["super_mean_age"].tail_mean()
+        leaf = dlm_run.series["leaf_mean_age"].tail_mean()
+        assert sup > 1.5 * leaf
+
+    def test_super_layer_stronger_than_leaf_layer(self, dlm_run):
+        """Figure 5's headline claim at steady state."""
+        sup = dlm_run.series["super_mean_capacity"].tail_mean()
+        leaf = dlm_run.series["leaf_mean_capacity"].tail_mean()
+        assert sup > 1.5 * leaf
+
+    def test_backbone_stays_connected(self, dlm_run):
+        assert backbone_connectivity(dlm_run.overlay) > 0.9
+
+    def test_equation_a_holds_empirically(self, dlm_run):
+        check = validate_equation_a(dlm_run.overlay, m=BASE.m)
+        assert check.relative_error < 1e-9  # an edge-counting identity
+
+    def test_dlm_did_real_work(self, dlm_run):
+        assert dlm_run.policy.promotions > 10
+        assert dlm_run.policy.evaluations > 1000
+
+    def test_overhead_ledger_populated(self, dlm_run):
+        c = dlm_run.ctx.overhead.counters
+        assert c.new_leaf_joins > 0
+        assert c.super_deaths > 0
+
+
+class TestPreconfiguredComparison:
+    def test_dlm_ratio_closer_to_target(self, dlm_run, preconfigured_run):
+        dlm_err = analyze_ratio_convergence(
+            dlm_run.series["ratio"], BASE.eta
+        ).tail_error
+        pre_err = analyze_ratio_convergence(
+            preconfigured_run.series["ratio"], BASE.eta
+        ).tail_error
+        assert dlm_err < pre_err or dlm_err < 0.3
+
+    def test_dlm_supers_older(self, dlm_run, preconfigured_run):
+        """Figure 8: DLM's super-layer mean age beats the baseline's."""
+        dlm_age = dlm_run.series["super_mean_age"].tail_mean()
+        pre_age = preconfigured_run.series["super_mean_age"].tail_mean()
+        assert dlm_age > pre_age
+
+
+class TestSearchIntegration:
+    def test_search_over_churning_dlm_network(self):
+        cfg = BASE.with_(
+            n=500,
+            horizon=300.0,
+            search=SearchConfig(query_rate=3.0, n_objects=1000, ttl=6),
+        )
+        result = run_experiment(cfg)
+        stats = result.query_stats
+        assert stats.issued > 300
+        assert stats.success_rate > 0.5
+        result.directory.check_consistency()
+        result.overlay.check_invariants()
+
+    def test_dlm_traffic_small_next_to_search_traffic(self):
+        """§6's overhead claim, measured end to end."""
+        cfg = BASE.with_(
+            n=500,
+            horizon=300.0,
+            search=SearchConfig(query_rate=10.0, n_objects=1000, ttl=6),
+        )
+        result = run_experiment(cfg)
+        ledger = result.ctx.messages
+        assert ledger.dlm_overhead_fraction() < 0.15

@@ -1,0 +1,40 @@
+"""DLM generality: ratio maintenance across target ratios.
+
+The paper evaluates one η (40); a usable implementation must accept the
+protocol's choice, whatever it is.  These runs cover an order of
+magnitude of targets with the same default gains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import analyze_ratio_convergence
+from repro.experiments.configs import bench_config
+from repro.experiments.runner import run_experiment
+
+
+@pytest.mark.parametrize("eta", [4.0, 10.0, 25.0, 60.0])
+def test_ratio_converges_across_targets(eta):
+    cfg = bench_config().with_(
+        n=800, horizon=600.0, warmup=50.0, seed=61, eta=eta
+    )
+    result = run_experiment(cfg)
+    report = analyze_ratio_convergence(result.series["ratio"], eta)
+    assert report.tail_error < 0.5, (
+        f"eta={eta}: tail ratio {report.tail_mean:.1f} strayed "
+        f"{report.tail_error:.0%} from target"
+    )
+    result.overlay.check_invariants()
+
+
+def test_super_layer_quality_holds_at_small_eta():
+    """Even with a big super-layer (eta=4: 20% of peers), election still
+    prefers the stronger, older peers."""
+    cfg = bench_config().with_(n=800, horizon=600.0, warmup=50.0, seed=62, eta=4.0)
+    result = run_experiment(cfg)
+    age_sep = (
+        result.series["super_mean_age"].tail_mean()
+        / result.series["leaf_mean_age"].tail_mean()
+    )
+    assert age_sep > 1.3

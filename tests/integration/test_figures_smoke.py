@@ -1,0 +1,99 @@
+"""Smoke tests for every figure/table harness at miniature scale.
+
+The benchmarks run the real reproductions; these only confirm each
+harness executes end to end, produces its series and shape metrics, and
+renders -- in seconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import bench_config
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.table3 import run_table3
+
+TINY = bench_config().with_(n=300, horizon=300.0, warmup=30.0, seed=5)
+
+
+class TestDynamicFigures:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_figure4(TINY)
+
+    def test_figure4_shape_metrics(self, fig4):
+        shape = fig4.check_shape()
+        assert shape["samples"] > 10
+        assert shape["separation_factor"] > 1.0
+
+    def test_figure4_renders(self, fig4):
+        out = fig4.render()
+        assert "Figure 4" in out and "super-layer" in out
+
+    def test_figure5_runs_and_renders(self):
+        fig5 = run_figure5(TINY)
+        shape = fig5.check_shape()
+        # Smoke only: at n=300 over 300 units the capacity separation is
+        # deep in sampling noise (few dozen supers, shift at t=150); the
+        # real shape assertion lives in benchmarks/test_bench_figure5.py.
+        assert shape["separation_pre_shift"] > 0.5
+        assert shape["super_capacity_uplift"] > 0
+        assert "Figure 5" in fig5.render()
+
+    def test_figure6_runs_and_renders(self):
+        fig6 = run_figure6(TINY)
+        shape = fig6.check_shape()
+        assert shape["eta_target"] == TINY.eta
+        assert shape["tail_ratio_mean"] > 0
+        assert "log" in fig6.render()
+
+
+class TestComparisonFigures:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_figure7(TINY)
+
+    def test_figure7_shape_metrics(self, fig7):
+        shape = fig7.check_shape()
+        assert shape["dlm_ratio_mean"] > 0
+        assert shape["pre_ratio_mean"] > 0
+        assert 0.0 <= shape["dlm_success_rate"] <= 1.0
+
+    def test_figure7_renders(self, fig7):
+        assert "preconfigured" in fig7.render()
+
+    def test_figure8_runs(self):
+        fig8 = run_figure8(TINY)
+        shape = fig8.check_shape()
+        assert shape["dlm_age_separation"] > 0
+        assert "Figure 8" in fig8.render()
+
+
+class TestFigure1:
+    def test_runs_and_reports_three_mixes(self):
+        fig1 = run_figure1(TINY)
+        assert len(fig1.rows) == 3
+        out = fig1.render()
+        assert "balanced" in out and "high-capacity" in out
+        shape = fig1.check_shape()
+        # strong arrivals must depress the threshold policy's ratio
+        assert shape["pre_b_over_a"] < 1.0
+
+
+class TestTable3:
+    def test_tiny_sweep(self):
+        result = run_table3(sizes=(200, 400), settle=150.0, window=100.0)
+        assert len(result.rows) == 2
+        assert all(r.new_leaf_peers_per_unit > 0 for r in result.rows)
+        assert "PAO/NLCO" in result.render()
+        shape = result.check_shape()
+        assert "monotone_trend" in shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_table3(sizes=(100,), settle=0.0)

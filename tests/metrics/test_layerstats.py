@@ -1,0 +1,89 @@
+"""Unit tests for the per-layer statistics sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.layerstats import SERIES_NAMES, LayerStatsSampler
+from repro.overlay.roles import Role
+from repro.overlay.topology import Overlay
+from repro.sim.scheduler import Simulator
+from tests.conftest import make_peer
+
+
+@pytest.fixture
+def system():
+    sim = Simulator(seed=0)
+    ov = Overlay()
+    ov.add_peer(make_peer(0, Role.SUPER, capacity=200.0, join_time=0.0))
+    ov.add_peer(make_peer(1, Role.LEAF, capacity=40.0, join_time=0.0))
+    ov.add_peer(make_peer(2, Role.LEAF, capacity=60.0, join_time=0.0))
+    ov.connect(1, 0)
+    ov.connect(2, 0)
+    return sim, ov
+
+
+class TestSampling:
+    def test_all_series_recorded(self, system):
+        sim, ov = system
+        sampler = LayerStatsSampler(sim, ov, interval=5.0)
+        sim.run(until=20.0)
+        for name in SERIES_NAMES:
+            assert name in sampler.bundle
+            assert len(sampler.bundle[name]) == 4
+
+    def test_sample_values(self, system):
+        sim, ov = system
+        sampler = LayerStatsSampler(sim, ov, interval=10.0)
+        sim.run(until=10.0)
+        b = sampler.bundle
+        assert b["n"].last()[1] == 3
+        assert b["n_super"].last()[1] == 1
+        assert b["n_leaf"].last()[1] == 2
+        assert b["ratio"].last()[1] == 2.0
+        assert b["super_mean_age"].last()[1] == 10.0
+        assert b["leaf_mean_age"].last()[1] == 10.0
+        assert b["super_mean_capacity"].last()[1] == 200.0
+        assert b["leaf_mean_capacity"].last()[1] == 50.0
+        assert b["super_mean_lnn"].last()[1] == 2.0
+
+    def test_empty_layer_degenerates_to_zero(self):
+        sim = Simulator(seed=0)
+        ov = Overlay()
+        ov.add_peer(make_peer(0, Role.SUPER))
+        sampler = LayerStatsSampler(sim, ov, interval=1.0)
+        sim.run(until=1.0)
+        b = sampler.bundle
+        assert b["leaf_mean_age"].last()[1] == 0.0
+        assert b["ratio"].last()[1] == 0.0
+
+    def test_no_supers_ratio_inf(self):
+        sim = Simulator(seed=0)
+        ov = Overlay()
+        ov.add_peer(make_peer(0, Role.LEAF))
+        sampler = LayerStatsSampler(sim, ov, interval=1.0)
+        sim.run(until=1.0)
+        assert sampler.bundle["ratio"].last()[1] == float("inf")
+
+    def test_stop(self, system):
+        sim, ov = system
+        sampler = LayerStatsSampler(sim, ov, interval=5.0)
+        sim.run(until=10.0)
+        sampler.stop()
+        sim.run(until=50.0)
+        assert len(sampler.bundle["n"]) == 2
+
+    def test_custom_start(self, system):
+        sim, ov = system
+        sampler = LayerStatsSampler(sim, ov, interval=10.0, start=3.0)
+        sim.run(until=14.0)
+        assert list(sampler.bundle["n"].times) == [3.0, 13.0]
+
+    def test_shared_bundle(self, system):
+        sim, ov = system
+        from repro.metrics.timeseries import SeriesBundle
+
+        bundle = SeriesBundle()
+        sampler = LayerStatsSampler(sim, ov, interval=5.0, bundle=bundle)
+        sim.run(until=5.0)
+        assert "ratio" in bundle

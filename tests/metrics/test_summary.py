@@ -1,0 +1,96 @@
+"""Unit tests for series summaries (the shape metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.summary import (
+    oscillation_amplitude,
+    relative_error,
+    separation_factor,
+    summarize,
+    time_to_converge,
+)
+from repro.metrics.timeseries import TimeSeries
+
+
+def series(name, values, dt=1.0):
+    s = TimeSeries(name)
+    for i, v in enumerate(values):
+        s.append(i * dt, v)
+    return s
+
+
+class TestSummarize:
+    def test_descriptors(self):
+        s = series("x", [1.0, 2.0, 3.0, 4.0])
+        out = summarize(s)
+        assert out.mean == 2.5 and out.minimum == 1.0 and out.maximum == 4.0
+        assert out.n_samples == 4
+
+    def test_windowed(self):
+        s = series("x", [1.0, 100.0, 100.0, 1.0])
+        out = summarize(s, t_from=1.0, t_to=2.0)
+        assert out.mean == 100.0 and out.n_samples == 2
+
+    def test_empty_window_raises(self):
+        s = series("x", [1.0])
+        with pytest.raises(ValueError, match="no samples"):
+            summarize(s, 5.0, 6.0)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(44.0, 40.0) == pytest.approx(0.1)
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestOscillation:
+    def test_flat_series_zero(self):
+        assert oscillation_amplitude(series("x", [5.0] * 10)) == 0.0
+
+    def test_swing_normalized_by_mean(self):
+        s = series("x", [30.0, 50.0, 30.0, 50.0])
+        assert oscillation_amplitude(s) == pytest.approx(20.0 / 40.0)
+
+    def test_oscillating_beats_flat(self):
+        flat = series("f", [40.0, 41.0, 39.0, 40.0])
+        wild = series("w", [10.0, 70.0, 10.0, 70.0])
+        assert oscillation_amplitude(wild) > oscillation_amplitude(flat)
+
+
+class TestSeparation:
+    def test_factor(self):
+        upper = series("u", [100.0] * 5)
+        lower = series("l", [20.0] * 5)
+        assert separation_factor(upper, lower) == pytest.approx(5.0)
+
+    def test_zero_lower(self):
+        upper = series("u", [1.0])
+        lower = series("l", [0.0])
+        assert separation_factor(upper, lower) == float("inf")
+
+
+class TestConvergence:
+    def test_settle_time_found(self):
+        s = series("x", [100.0, 60.0, 42.0, 41.0, 39.0, 40.0])
+        assert time_to_converge(s, 40.0, tolerance=0.1) == 2.0
+
+    def test_never_converges(self):
+        s = series("x", [100.0, 100.0, 100.0])
+        assert time_to_converge(s, 40.0, tolerance=0.1) is None
+
+    def test_late_excursion_pushes_settle_time(self):
+        s = series("x", [40.0, 40.0, 90.0, 40.0, 40.0])
+        assert time_to_converge(s, 40.0, tolerance=0.1) == 3.0
+
+    def test_converged_from_start(self):
+        s = series("x", [40.0, 41.0, 39.0])
+        assert time_to_converge(s, 40.0, tolerance=0.1) == 0.0
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError):
+            time_to_converge(series("x", [1.0]), 0.0)

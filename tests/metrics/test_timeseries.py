@@ -1,0 +1,96 @@
+"""Unit tests for time-series recording."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeseries import SeriesBundle, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_read(self):
+        s = TimeSeries("x")
+        s.append(1.0, 10.0)
+        s.append(2.0, 20.0)
+        np.testing.assert_array_equal(s.times, [1.0, 2.0])
+        np.testing.assert_array_equal(s.values, [10.0, 20.0])
+
+    def test_non_monotone_time_rejected(self):
+        s = TimeSeries("x")
+        s.append(2.0, 1.0)
+        with pytest.raises(ValueError, match="non-monotone"):
+            s.append(1.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        s = TimeSeries("x")
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_last(self):
+        s = TimeSeries("x")
+        with pytest.raises(IndexError):
+            s.last()
+        s.append(1.0, 5.0)
+        assert s.last() == (1.0, 5.0)
+
+    def test_window(self):
+        s = TimeSeries("x")
+        for t in range(10):
+            s.append(float(t), float(t) * 2)
+        np.testing.assert_array_equal(s.window(3.0, 5.0), [6.0, 8.0, 10.0])
+
+    def test_window_empty(self):
+        s = TimeSeries("x")
+        s.append(1.0, 1.0)
+        assert s.window(5.0, 6.0).size == 0
+
+    def test_tail_mean(self):
+        s = TimeSeries("x")
+        for v in (0.0, 0.0, 10.0, 20.0):
+            s.append(float(len(s)), v)
+        assert s.tail_mean(0.5) == 15.0
+
+    def test_tail_mean_validation(self):
+        s = TimeSeries("x")
+        with pytest.raises(ValueError):
+            s.tail_mean()  # empty
+        s.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            s.tail_mean(0.0)
+
+    def test_iteration(self):
+        s = TimeSeries("x")
+        s.append(1.0, 2.0)
+        assert list(s) == [(1.0, 2.0)]
+
+
+class TestSeriesBundle:
+    def test_get_or_create(self):
+        b = SeriesBundle()
+        s = b.series("ratio")
+        assert b.series("ratio") is s
+        assert "ratio" in b
+
+    def test_record_appends(self):
+        b = SeriesBundle()
+        b.record("ratio", 1.0, 40.0)
+        b.record("ratio", 2.0, 39.0)
+        assert len(b["ratio"]) == 2
+
+    def test_names_sorted(self):
+        b = SeriesBundle()
+        b.record("z", 0.0, 0.0)
+        b.record("a", 0.0, 0.0)
+        assert b.names() == ("a", "z")
+
+    def test_missing_series_raises(self):
+        with pytest.raises(KeyError):
+            SeriesBundle()["nope"]
+
+    def test_len(self):
+        b = SeriesBundle()
+        b.record("a", 0.0, 0.0)
+        b.record("b", 0.0, 0.0)
+        assert len(b) == 2

@@ -1,0 +1,153 @@
+"""Unit tests for degree maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.overlay.bootstrap import JoinProcedure
+from repro.overlay.maintenance import Maintenance, RepairReport
+from repro.overlay.roles import Role
+from repro.overlay.topology import Overlay
+
+
+@pytest.fixture
+def system():
+    ov = Overlay()
+    join = JoinProcedure(ov, m=2, rng=np.random.default_rng(1), k_s=3)
+    maint = Maintenance(ov, join, m=2, k_s=3)
+    for _ in range(6):
+        join.join(0.0, 10.0, 50.0, role=Role.SUPER)
+    return ov, join, maint
+
+
+class TestLeafRepair:
+    def test_ensure_leaf_links_tops_up_to_m(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        sid = next(iter(leaf.super_neighbors))
+        ov.disconnect(leaf.pid, sid)
+        added = maint.ensure_leaf_links(leaf.pid)
+        assert added == 1
+        assert len(leaf.super_neighbors) == 2
+
+    def test_ensure_leaf_links_noop_at_target(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        assert maint.ensure_leaf_links(leaf.pid) == 0
+
+    def test_reconnect_orphans_single_link_each(self, system):
+        """PAO semantics: a demotion orphan re-creates exactly one link."""
+        ov, join, maint = system
+        leaves = [join.join(1.0, 5.0, 50.0) for _ in range(3)]
+        for leaf in leaves:
+            for sid in list(leaf.super_neighbors):
+                ov.disconnect(leaf.pid, sid)
+        report = maint.reconnect_orphans([l.pid for l in leaves])
+        assert report.leaf_reconnections == 3
+        for leaf in leaves:
+            assert len(leaf.super_neighbors) == 1
+
+    def test_reconnect_orphans_skips_dead_and_promoted(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        dead = join.join(1.0, 5.0, 50.0)
+        ov.remove_peer(dead.pid)
+        ov.promote(leaf.pid)
+        report = maint.reconnect_orphans([leaf.pid, dead.pid])
+        assert report.leaf_reconnections == 0
+
+    def test_reconnect_orphan_already_at_m_is_noop(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        report = maint.reconnect_orphans([leaf.pid])
+        assert report.leaf_reconnections == 0
+
+
+class TestSuperRepair:
+    def test_ensure_super_links_tops_up_to_ks(self, system):
+        ov, join, maint = system
+        sup = join.join(1.0, 10.0, 50.0, role=Role.SUPER)
+        for sid in list(sup.super_neighbors):
+            ov.disconnect(sup.pid, sid)
+        added = maint.ensure_super_links(sup.pid)
+        assert added == 3
+        assert len(sup.super_neighbors) == 3
+
+    def test_ensure_super_links_on_leaf_is_noop(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        assert maint.ensure_super_links(leaf.pid) == 0
+
+    def test_repair_backbone(self, system):
+        ov, join, maint = system
+        victim = join.join(1.0, 10.0, 50.0, role=Role.SUPER)
+        partners = list(victim.super_neighbors)
+        orphans, former = ov.remove_peer(victim.pid)
+        report = maint.repair_backbone(former)
+        for sid in partners:
+            assert len(ov.peer(sid).super_neighbors) >= 1
+
+
+class TestCompositeEvents:
+    def test_after_super_death_repairs_orphans_and_backbone(self, system):
+        ov, join, maint = system
+        sup = join.join(1.0, 10.0, 50.0, role=Role.SUPER)
+        leaf = join.join(1.0, 5.0, 50.0)
+        # force the leaf onto this super exclusively
+        for sid in list(leaf.super_neighbors):
+            ov.disconnect(leaf.pid, sid)
+        ov.connect(leaf.pid, sup.pid)
+        orphans, former = ov.remove_peer(sup.pid)
+        report = maint.after_super_death(orphans, former)
+        assert report.leaf_reconnections == 1
+        assert len(leaf.super_neighbors) == 1
+
+    def test_after_demotion_reconnects_orphans_and_topups_demoted(self, system):
+        ov, join, maint = system
+        sup = join.join(1.0, 10.0, 50.0, role=Role.SUPER)
+        leaves = [join.join(1.0, 5.0, 50.0) for _ in range(2)]
+        for leaf in leaves:
+            ov.connect(leaf.pid, sup.pid)
+        orphans = ov.demote(sup.pid, 2, np.random.default_rng(0))
+        report = maint.after_demotion(sup.pid, orphans)
+        ov.check_invariants()
+        demoted = ov.peer(sup.pid)
+        assert demoted.is_leaf and len(demoted.super_neighbors) == 2
+        for lid in orphans:
+            assert len(ov.peer(lid).super_neighbors) >= 2
+
+    def test_after_promotion_fills_backbone(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        ov.promote(leaf.pid)
+        maint.after_promotion(leaf.pid)
+        assert len(ov.peer(leaf.pid).super_neighbors) >= 3
+
+
+class TestSweep:
+    def test_sweep_repairs_everything(self, system):
+        ov, join, maint = system
+        leaf = join.join(1.0, 5.0, 50.0)
+        for sid in list(leaf.super_neighbors):
+            ov.disconnect(leaf.pid, sid)
+        report = maint.sweep()
+        assert report.leaf_reconnections >= 2
+        assert len(leaf.super_neighbors) == 2
+        ov.check_invariants()
+
+    def test_sweep_idempotent_on_healthy_overlay(self, system):
+        ov, join, maint = system
+        for _ in range(4):
+            join.join(1.0, 5.0, 50.0)
+        maint.sweep()
+        second = maint.sweep()
+        assert second.leaf_reconnections == 0
+
+
+class TestRepairReport:
+    def test_merge_accumulates(self):
+        a = RepairReport(leaf_reconnections=1, super_reconnections=2)
+        b = RepairReport(leaf_reconnections=3, super_reconnections=4)
+        a.merge(b)
+        assert (a.leaf_reconnections, a.super_reconnections) == (4, 6)

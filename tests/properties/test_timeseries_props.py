@@ -1,0 +1,67 @@
+"""Property tests for time-series recording and summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.summary import oscillation_amplitude, summarize, time_to_converge
+from repro.metrics.timeseries import TimeSeries
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=100
+)
+
+
+def build(vals):
+    s = TimeSeries("x")
+    for i, v in enumerate(vals):
+        s.append(float(i), v)
+    return s
+
+
+@given(values)
+def test_summary_bounds(vals):
+    s = build(vals)
+    out = summarize(s)
+    assert out.minimum <= out.mean <= out.maximum
+    assert out.n_samples == len(vals)
+    assert out.std >= 0
+
+
+@given(values)
+def test_window_subsets_full_range(vals):
+    s = build(vals)
+    full = s.window(0.0, float(len(vals)))
+    assert full.size == len(vals)
+    half = s.window(0.0, (len(vals) - 1) / 2.0)
+    assert half.size <= full.size
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e4, allow_nan=False), min_size=2, max_size=60))
+def test_oscillation_amplitude_nonnegative(vals):
+    s = build(vals)
+    assert oscillation_amplitude(s) >= 0.0
+
+
+@given(
+    st.lists(st.floats(min_value=1.0, max_value=100.0, allow_nan=False), min_size=1, max_size=60),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_time_to_converge_consistency(vals, target):
+    """If a settle time is reported, every later sample is in tolerance."""
+    s = build(vals)
+    settled = time_to_converge(s, target, tolerance=0.2)
+    if settled is None:
+        return
+    times = s.times
+    within = np.abs(s.values - target) <= 0.2 * target
+    assert within[times >= settled].all()
+
+
+@given(values, st.floats(min_value=0.05, max_value=1.0))
+def test_tail_mean_within_range(vals, fraction):
+    s = build(vals)
+    tail = s.tail_mean(fraction)
+    assert min(vals) - 1e-9 <= tail <= max(vals) + 1e-9

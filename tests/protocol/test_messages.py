@@ -1,0 +1,85 @@
+"""Table-1 conformance tests for the protocol messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.messages import (
+    DLM_MESSAGE_TYPES,
+    HEADER_BYTES,
+    SEARCH_MESSAGE_TYPES,
+    VALUE_BYTES,
+    NeighNumRequest,
+    NeighNumResponse,
+    QueryHitMessage,
+    QueryMessage,
+    ValueRequest,
+    ValueResponse,
+)
+
+
+class TestTable1Conformance:
+    """The paper's Table 1: two pairs, with exactly these value fields."""
+
+    def test_neigh_num_request_carries_no_values(self):
+        assert NeighNumRequest.n_values == 0
+
+    def test_neigh_num_response_carries_lnn(self):
+        msg = NeighNumResponse(src=1, dst=2, l_nn=80)
+        assert msg.l_nn == 80
+        assert NeighNumResponse.n_values == 1
+
+    def test_value_request_carries_no_values(self):
+        assert ValueRequest.n_values == 0
+
+    def test_value_response_carries_capacity_and_age(self):
+        msg = ValueResponse(src=1, dst=2, capacity=100.0, age=42.0)
+        assert (msg.capacity, msg.age) == (100.0, 42.0)
+        assert ValueResponse.n_values == 2
+
+    def test_dlm_message_set_is_the_two_pairs(self):
+        assert set(DLM_MESSAGE_TYPES) == {
+            NeighNumRequest,
+            NeighNumResponse,
+            ValueRequest,
+            ValueResponse,
+        }
+
+    def test_wire_names_distinct(self):
+        names = [t.wire_name for t in DLM_MESSAGE_TYPES + SEARCH_MESSAGE_TYPES]
+        assert len(set(names)) == len(names)
+
+
+class TestSizeModel:
+    def test_requests_are_header_only(self):
+        """§6: 'they can have very simple formats and only need few bytes'."""
+        assert NeighNumRequest.size_bytes() == HEADER_BYTES
+        assert ValueRequest.size_bytes() == HEADER_BYTES
+
+    def test_responses_add_value_bytes(self):
+        assert NeighNumResponse.size_bytes() == HEADER_BYTES + VALUE_BYTES
+        assert ValueResponse.size_bytes() == HEADER_BYTES + 2 * VALUE_BYTES
+
+    def test_dlm_messages_are_small(self):
+        for t in DLM_MESSAGE_TYPES:
+            assert t.size_bytes() <= 16
+
+    def test_query_larger_than_control_messages(self):
+        assert QueryMessage.size_bytes() > max(
+            t.size_bytes() for t in DLM_MESSAGE_TYPES
+        )
+
+
+class TestMessageObjects:
+    def test_immutability(self):
+        msg = NeighNumResponse(src=1, dst=2, l_nn=5)
+        with pytest.raises(AttributeError):
+            msg.l_nn = 6  # type: ignore[misc]
+
+    def test_endpoints(self):
+        msg = QueryMessage(src=3, dst=4, query_id=9, ttl=7)
+        assert (msg.src, msg.dst, msg.query_id, msg.ttl) == (3, 4, 9, 7)
+
+    def test_query_hit_fields(self):
+        msg = QueryHitMessage(src=3, dst=4, query_id=9, holder=11)
+        assert msg.holder == 11

@@ -1,0 +1,85 @@
+"""Unit tests for the Phase-1 information exchange."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.roles import Role
+from repro.overlay.topology import Overlay
+from repro.protocol.accounting import MessageLedger
+from repro.protocol.messages import (
+    NeighNumRequest,
+    NeighNumResponse,
+    ValueRequest,
+    ValueResponse,
+)
+from repro.protocol.transport import MESSAGES_PER_NEW_LINK, InfoExchange
+from tests.conftest import make_peer
+
+
+@pytest.fixture
+def system():
+    ov = Overlay()
+    ov.add_peer(make_peer(0, Role.SUPER))
+    ov.add_peer(make_peer(1, Role.SUPER))
+    ov.add_peer(make_peer(2, Role.LEAF))
+    ov.connect(2, 0)
+    ledger = MessageLedger()
+    return ov, ledger, InfoExchange(ov, ledger)
+
+
+class TestEventDrivenExchange:
+    def test_leaf_super_link_charges_six_messages(self, system):
+        ov, ledger, info = system
+        assert info.on_connection_created(2, 0)
+        assert ledger.dlm_messages == MESSAGES_PER_NEW_LINK == 6
+        assert ledger.count(NeighNumRequest) == 1
+        assert ledger.count(NeighNumResponse) == 1
+        assert ledger.count(ValueRequest) == 2
+        assert ledger.count(ValueResponse) == 2
+
+    def test_order_of_endpoints_does_not_matter(self, system):
+        ov, ledger, info = system
+        info.on_connection_created(0, 2)
+        assert ledger.dlm_messages == 6
+
+    def test_backbone_link_is_free(self, system):
+        ov, ledger, info = system
+        assert not info.on_connection_created(0, 1)
+        assert ledger.dlm_messages == 0
+
+    def test_gone_peer_charges_nothing(self, system):
+        ov, ledger, info = system
+        assert not info.on_connection_created(2, 99)
+        assert ledger.dlm_messages == 0
+
+
+class TestPeriodicRefresh:
+    def test_leaf_refresh_charges_per_link(self, system):
+        ov, ledger, info = system
+        ov.connect(2, 1)  # leaf now has 2 supers
+        n = info.refresh_leaf(2)
+        assert n == 8  # 4 messages per link
+        assert ledger.count(NeighNumRequest) == 2
+        assert ledger.count(ValueResponse) == 2
+
+    def test_leaf_refresh_without_links(self, system):
+        ov, ledger, info = system
+        ov.disconnect(2, 0)
+        assert info.refresh_leaf(2) == 0
+
+    def test_refresh_on_wrong_role_is_noop(self, system):
+        ov, ledger, info = system
+        assert info.refresh_leaf(0) == 0
+        assert info.refresh_super(2) == 0
+
+    def test_super_refresh_charges_value_pairs(self, system):
+        ov, ledger, info = system
+        n = info.refresh_super(0)
+        assert n == 2  # one leaf neighbor -> one value pair
+        assert ledger.count(ValueRequest) == 1
+        assert ledger.count(ValueResponse) == 1
+
+    def test_refresh_missing_peer(self, system):
+        ov, ledger, info = system
+        assert info.refresh_leaf(42) == 0

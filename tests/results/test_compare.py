@@ -1,0 +1,63 @@
+"""Unit tests for run comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.results.compare import compare_runs
+
+
+def doc(ratio_tail=40.0, extra_series=None, joins=100):
+    series = {
+        "ratio": {"times": [0, 1, 2, 3], "values": [80.0, 60.0, ratio_tail, ratio_tail]},
+        "n_super": {"times": [0, 1, 2, 3], "values": [1, 10, 20, 20]},
+    }
+    if extra_series:
+        series.update(extra_series)
+    return {
+        "schema_version": 1,
+        "series": series,
+        "overhead": {"new_leaf_joins": joins, "demotions": 5},
+    }
+
+
+class TestCompareRuns:
+    def test_identical_runs_have_unit_ratios(self):
+        cmp = compare_runs(doc(), doc())
+        assert all(d.ratio == pytest.approx(1.0) for d in cmp.series.values())
+        assert cmp.regressions() == {}
+
+    def test_detects_moved_series(self):
+        cmp = compare_runs(doc(ratio_tail=40.0), doc(ratio_tail=15.0))
+        regressions = cmp.regressions(tolerance=0.25)
+        assert "ratio" in regressions
+        assert regressions["ratio"].candidate == pytest.approx(15.0)
+
+    def test_tolerance_controls_sensitivity(self):
+        cmp = compare_runs(doc(ratio_tail=40.0), doc(ratio_tail=45.0))
+        assert "ratio" not in cmp.regressions(tolerance=0.25)
+        assert "ratio" in cmp.regressions(tolerance=0.05)
+
+    def test_missing_series_reported(self):
+        extra = {"bonus": {"times": [0], "values": [1.0]}}
+        cmp = compare_runs(doc(extra_series=extra), doc())
+        assert cmp.missing_in_candidate == ("bonus",)
+        cmp2 = compare_runs(doc(), doc(extra_series=extra))
+        assert cmp2.missing_in_baseline == ("bonus",)
+
+    def test_counter_deltas(self):
+        cmp = compare_runs(doc(joins=100), doc(joins=150))
+        assert cmp.counters["new_leaf_joins"].ratio == pytest.approx(1.5)
+
+    def test_tail_fraction(self):
+        a = doc()
+        b = doc()
+        b["series"]["ratio"]["values"] = [40.0, 40.0, 40.0, 10.0]
+        cmp = compare_runs(a, b, tail_fraction=0.25)  # last sample only
+        assert cmp.series["ratio"].candidate == pytest.approx(10.0)
+
+    def test_zero_baseline_ratio(self):
+        a = doc()
+        a["series"]["ratio"]["values"] = [0.0, 0.0, 0.0, 0.0]
+        cmp = compare_runs(a, doc())
+        assert cmp.series["ratio"].ratio == float("inf")

@@ -1,0 +1,71 @@
+"""Unit tests for CSV series export."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.metrics.timeseries import SeriesBundle
+from repro.results.csv_export import bundle_to_csv, write_bundle_csv
+
+
+@pytest.fixture
+def bundle():
+    b = SeriesBundle()
+    for t in (0.0, 10.0, 20.0):
+        b.record("ratio", t, 40.0 + t)
+        b.record("n_super", t, t / 10.0)
+    return b
+
+
+class TestBundleToCsv:
+    def test_header_and_rows(self, bundle):
+        text = bundle_to_csv(bundle)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["time", "n_super", "ratio"]
+        assert len(rows) == 4
+        assert float(rows[1][0]) == 0.0
+        assert float(rows[2][2]) == 50.0
+
+    def test_column_selection_and_order(self, bundle):
+        text = bundle_to_csv(bundle, series=["ratio"])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["time", "ratio"]
+
+    def test_values_round_trip_exactly(self, bundle):
+        text = bundle_to_csv(bundle)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert float(rows[3][2]) == bundle["ratio"].values[-1]
+
+    def test_unknown_series_rejected(self, bundle):
+        with pytest.raises(ValueError, match="unknown"):
+            bundle_to_csv(bundle, series=["nope"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            bundle_to_csv(SeriesBundle())
+
+    def test_ragged_grids_rejected(self, bundle):
+        bundle.record("late", 5.0, 1.0)
+        with pytest.raises(ValueError, match="different time grid"):
+            bundle_to_csv(bundle)
+        # but exporting the ragged series alone is fine
+        assert "late" in bundle_to_csv(bundle, series=["late"])
+
+
+class TestWriteBundleCsv:
+    def test_writes_file(self, bundle, tmp_path):
+        path = write_bundle_csv(bundle, tmp_path / "out" / "series.csv")
+        assert path.exists()
+        assert path.read_text().startswith("time,")
+
+    def test_real_run_exports(self, tmp_path):
+        from repro import quick_network
+
+        result = quick_network(n=150, horizon=100.0, seed=2)
+        path = write_bundle_csv(result.series, tmp_path / "run.csv")
+        rows = list(csv.reader(io.StringIO(path.read_text())))
+        assert "ratio" in rows[0]
+        assert len(rows) == 1 + len(result.series["ratio"])

@@ -1,0 +1,80 @@
+"""Unit tests for run export/load."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.configs import SearchConfig, bench_config
+from repro.experiments.runner import run_experiment
+from repro.results.export import SCHEMA_VERSION, export_run, load_run, write_run
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    cfg = bench_config().with_(
+        n=200,
+        horizon=120.0,
+        warmup=20.0,
+        seed=3,
+        search=SearchConfig(query_rate=2.0, n_objects=300),
+    )
+    return run_experiment(cfg)
+
+
+class TestExport:
+    def test_document_is_json_serializable(self, small_run):
+        doc = export_run(small_run)
+        json.dumps(doc)  # must not raise
+
+    def test_schema_and_config(self, small_run):
+        doc = export_run(small_run)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["config"]["n"] == 200
+        assert doc["config"]["eta"] == 40.0
+
+    def test_series_round_trip_values(self, small_run):
+        doc = export_run(small_run)
+        ratio = doc["series"]["ratio"]
+        assert len(ratio["times"]) == len(ratio["values"]) == 12
+        assert ratio["values"][-1] == small_run.series["ratio"].last()[1]
+
+    def test_final_state_matches_overlay(self, small_run):
+        doc = export_run(small_run)
+        assert doc["final_state"]["n"] == small_run.overlay.n
+        assert doc["final_state"]["n_super"] == small_run.overlay.n_super
+
+    def test_policy_counters_present(self, small_run):
+        doc = export_run(small_run)
+        assert doc["policy"]["name"] == "dlm"
+        assert doc["policy"]["evaluations"] > 0
+
+    def test_query_stats_present_with_search(self, small_run):
+        doc = export_run(small_run)
+        assert doc["queries"]["issued"] > 0
+        assert 0.0 <= doc["queries"]["success_rate"] <= 1.0
+
+    def test_overhead_counters_exported(self, small_run):
+        doc = export_run(small_run)
+        assert doc["overhead"]["new_leaf_joins"] > 0
+
+    def test_message_ledger_exported(self, small_run):
+        doc = export_run(small_run)
+        assert doc["messages"]["counts"]["value_request"] > 0
+
+
+class TestFileRoundTrip:
+    def test_write_and_load(self, small_run, tmp_path):
+        path = write_run(small_run, tmp_path / "runs" / "baseline.json")
+        assert path.exists()
+        doc = load_run(path)
+        assert doc["final_state"]["n"] == 200
+
+    def test_version_check(self, small_run, tmp_path):
+        path = write_run(small_run, tmp_path / "run.json")
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_run(path)

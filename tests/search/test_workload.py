@@ -1,0 +1,68 @@
+"""Unit tests for the query workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.roles import Role
+from repro.search.content import ContentCatalog
+from repro.search.flooding import FloodRouter
+from repro.search.index import ContentDirectory
+from repro.search.workload import QueryWorkload
+
+
+@pytest.fixture
+def system(ctx):
+    catalog = ContentCatalog(n_objects=200, s=0.8)
+    directory = ContentDirectory(
+        ctx.overlay, catalog, ctx.sim.rng.get("content"), files_per_peer=5
+    )
+    for _ in range(4):
+        ctx.join.join(0.0, 100.0, 1000.0, role=Role.SUPER)
+    for _ in range(20):
+        ctx.join.join(0.0, 10.0, 1000.0)
+    router = FloodRouter(ctx.overlay, directory, ttl=5, ledger=ctx.messages)
+    return ctx, catalog, directory, router
+
+
+class TestWorkload:
+    def test_rate_drives_query_volume(self, system):
+        ctx, catalog, directory, router = system
+        wl = QueryWorkload(ctx.sim, ctx.overlay, catalog, router, rate=5.0)
+        ctx.sim.run(until=100.0)
+        issued = wl.stats.snapshot.issued
+        assert issued == pytest.approx(500, rel=0.25)
+
+    def test_stop_halts_queries(self, system):
+        ctx, catalog, directory, router = system
+        wl = QueryWorkload(ctx.sim, ctx.overlay, catalog, router, rate=5.0)
+        ctx.sim.run(until=20.0)
+        wl.stop()
+        before = wl.stats.snapshot.issued
+        ctx.sim.run(until=100.0)
+        assert wl.stats.snapshot.issued == before
+
+    def test_issue_one_records(self, system):
+        ctx, catalog, directory, router = system
+        wl = QueryWorkload(ctx.sim, ctx.overlay, catalog, router, rate=1.0)
+        out = wl.issue_one()
+        assert wl.stats.snapshot.issued == 1
+        assert out.obj < 200
+
+    def test_issue_one_explicit_source_and_object(self, system):
+        ctx, catalog, directory, router = system
+        wl = QueryWorkload(ctx.sim, ctx.overlay, catalog, router, rate=1.0)
+        source = next(iter(ctx.overlay.leaf_ids))
+        out = wl.issue_one(source=source, obj=3)
+        assert out.source == source and out.obj == 3
+
+    def test_queries_charged_to_ledger(self, system):
+        ctx, catalog, directory, router = system
+        wl = QueryWorkload(ctx.sim, ctx.overlay, catalog, router, rate=5.0)
+        ctx.sim.run(until=50.0)
+        assert ctx.messages.search_messages > 0
+
+    def test_invalid_rate(self, system):
+        ctx, catalog, directory, router = system
+        with pytest.raises(ValueError):
+            QueryWorkload(ctx.sim, ctx.overlay, catalog, router, rate=0.0)

@@ -1,0 +1,36 @@
+"""Unit tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.5).now == 10.5
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(4.999)
+
+    def test_many_advances_monotone(self):
+        clock = SimClock()
+        for t in (0.1, 0.1, 0.5, 2.0, 2.0, 100.0):
+            clock.advance_to(t)
+        assert clock.now == 100.0

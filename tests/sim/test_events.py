@@ -1,0 +1,71 @@
+"""Unit tests for the event primitives."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.sim.events import Event, EventKind
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        a = Event(time=1.0, kind="a")
+        b = Event(time=2.0, kind="b")
+        assert a < b
+        assert not b < a
+
+    def test_equal_time_fifo_by_sequence(self):
+        a = Event(time=5.0, kind="a")
+        b = Event(time=5.0, kind="b")
+        assert a < b  # created first, delivered first
+
+    def test_heap_pops_in_time_order(self):
+        events = [Event(time=t, kind="k") for t in (3.0, 1.0, 2.0, 0.5)]
+        heap = list(events)
+        heapq.heapify(heap)
+        popped = [heapq.heappop(heap).time for _ in range(len(events))]
+        assert popped == sorted(popped)
+
+    def test_sequence_numbers_are_unique_and_increasing(self):
+        a = Event(time=0.0, kind="a")
+        b = Event(time=0.0, kind="b")
+        c = Event(time=0.0, kind="c")
+        assert a.seq < b.seq < c.seq
+
+
+class TestEventCancellation:
+    def test_new_event_not_cancelled(self):
+        assert not Event(time=0.0, kind="x").cancelled
+
+    def test_cancel_sets_flag(self):
+        ev = Event(time=0.0, kind="x")
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_cancel_is_idempotent(self):
+        ev = Event(time=0.0, kind="x")
+        ev.cancel()
+        ev.cancel()
+        assert ev.cancelled
+
+
+class TestEventPayload:
+    def test_default_payload_empty(self):
+        assert dict(Event(time=0.0, kind="x").payload) == {}
+
+    def test_payload_preserved(self):
+        ev = Event(time=0.0, kind="x", payload={"pid": 7})
+        assert ev.payload["pid"] == 7
+
+
+class TestEventKind:
+    def test_all_kinds_are_unique_strings(self):
+        kinds = EventKind._ALL
+        assert len(set(kinds)) == len(kinds)
+        assert all(isinstance(k, str) and k for k in kinds)
+
+    def test_expected_kinds_present(self):
+        assert EventKind.PEER_JOIN == "peer_join"
+        assert EventKind.PEER_LEAVE == "peer_leave"
+        assert EventKind.DLM_EVALUATE == "dlm_evaluate"
+        assert EventKind.SCENARIO_SHIFT == "scenario_shift"

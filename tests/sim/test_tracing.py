@@ -1,0 +1,55 @@
+"""Unit tests for the event tracer."""
+
+from __future__ import annotations
+
+from repro.sim.tracing import Tracer
+
+
+class TestTracer:
+    def test_records_subscribed_kinds_only(self, sim):
+        tracer = Tracer(sim, ["a"])
+        sim.schedule(1.0, "a")
+        sim.schedule(2.0, "b")
+        sim.run()
+        assert tracer.total() == 1
+        assert tracer.records[0][1] == "a"
+
+    def test_records_time_and_payload(self, sim):
+        tracer = Tracer(sim, ["a"])
+        sim.schedule_at(3.0, "a", {"pid": 9})
+        sim.run()
+        t, kind, payload = tracer.records[0]
+        assert (t, kind, payload) == (3.0, "a", {"pid": 9})
+
+    def test_counts_by_kind(self, sim):
+        tracer = Tracer(sim, ["a", "b"])
+        for t in range(3):
+            sim.schedule_at(float(t + 1), "a")
+        sim.schedule_at(5.0, "b")
+        sim.run()
+        assert tracer.total("a") == 3
+        assert tracer.total("b") == 1
+        assert tracer.total() == 4
+
+    def test_capacity_bounds_retained_records(self, sim):
+        tracer = Tracer(sim, ["a"], capacity=2)
+        for t in range(5):
+            sim.schedule_at(float(t + 1), "a", {"i": t})
+        sim.run()
+        assert tracer.total("a") == 5  # counts exact
+        assert [r[2]["i"] for r in tracer.records] == [3, 4]  # ring keeps last 2
+
+    def test_of_kind_filters(self, sim):
+        tracer = Tracer(sim, ["a", "b"])
+        sim.schedule_at(1.0, "a")
+        sim.schedule_at(2.0, "b")
+        sim.run()
+        assert len(tracer.of_kind("b")) == 1
+
+    def test_clear_drops_records_keeps_counts(self, sim):
+        tracer = Tracer(sim, ["a"])
+        sim.schedule(1.0, "a")
+        sim.run()
+        tracer.clear()
+        assert tracer.records == ()
+        assert tracer.total("a") == 1

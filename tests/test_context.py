@@ -1,0 +1,53 @@
+"""Tests for the composition context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import build_context
+from repro.sim.scheduler import Simulator
+
+
+class TestBuildContext:
+    def test_standard_wiring(self):
+        ctx = build_context(seed=1, m=2, k_s=3)
+        assert ctx.m == 2 and ctx.k_s == 3
+        assert ctx.join.m == 2 and ctx.join.k_s == 3
+        assert ctx.maintenance.m == 2 and ctx.maintenance.k_s == 3
+        assert ctx.overhead.m == 2
+        assert ctx.info.overlay is ctx.overlay
+        assert ctx.info.ledger is ctx.messages
+
+    def test_now_tracks_simulator(self):
+        ctx = build_context(seed=0)
+        assert ctx.now == 0.0
+        ctx.sim.schedule(5.0, "x")
+        ctx.sim.run()
+        assert ctx.now == 5.0
+
+    def test_custom_simulator_adopted(self):
+        sim = Simulator(seed=77, start=10.0)
+        ctx = build_context(sim=sim)
+        assert ctx.sim is sim
+        assert ctx.now == 10.0
+
+    def test_piggyback_flag_threaded(self):
+        assert build_context(piggyback=True).messages.piggyback
+        assert not build_context().messages.piggyback
+
+    def test_seed_isolation(self):
+        a = build_context(seed=1)
+        b = build_context(seed=1)
+        assert a.sim.rng.get("bootstrap").random() == b.sim.rng.get(
+            "bootstrap"
+        ).random()
+
+    def test_custom_degree_parameters(self):
+        ctx = build_context(m=4, k_s=6)
+        for _ in range(8):
+            ctx.join.join(0.0, 10.0, 100.0)
+        # leaves hold up to m=4 links (bounded by available supers)
+        leaf = next(
+            ctx.overlay.peer(l) for l in ctx.overlay.leaf_ids
+        )
+        assert len(leaf.super_neighbors) <= 4

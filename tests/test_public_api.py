@@ -1,0 +1,65 @@
+"""Top-level public API tests (the README's promises)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    DLMConfig,
+    DLMPolicy,
+    RunResult,
+    bench_config,
+    build_context,
+    quick_network,
+    run_experiment,
+    table2_config,
+)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart_names_exported(self):
+        # exactly what the README shows
+        assert callable(quick_network)
+        assert callable(run_experiment)
+        assert callable(build_context)
+        assert DLMConfig().eta == 40.0
+        assert DLMPolicy().name == "dlm"
+
+
+class TestQuickNetwork:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return quick_network(n=300, eta=10.0, horizon=250.0, seed=4)
+
+    def test_returns_run_result(self, result):
+        assert isinstance(result, RunResult)
+
+    def test_network_at_requested_size(self, result):
+        assert result.overlay.n == 300
+
+    def test_eta_override_applied(self, result):
+        assert result.config.eta == 10.0
+        assert result.overlay.layer_size_ratio() == pytest.approx(10.0, rel=0.6)
+
+    def test_series_available(self, result):
+        assert result.series["ratio"].last()[0] == 250.0
+
+    def test_deterministic_per_seed(self):
+        a = quick_network(n=150, horizon=100.0, seed=11)
+        b = quick_network(n=150, horizon=100.0, seed=11)
+        assert a.overlay.n_super == b.overlay.n_super
+        assert list(a.series["ratio"].values) == list(b.series["ratio"].values)
+
+
+class TestConfigsExported:
+    def test_table2_and_bench_relationship(self):
+        assert table2_config().n == 50_000
+        assert bench_config().n == 2_000

@@ -1,0 +1,56 @@
+"""Unit tests for terminal plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_markers_for_each_series(self):
+        out = ascii_plot(
+            {
+                "one": ([0, 1, 2], [1, 2, 3]),
+                "two": ([0, 1, 2], [3, 2, 1]),
+            }
+        )
+        assert "*" in out and "o" in out
+        assert "one" in out and "two" in out
+
+    def test_title_included(self):
+        out = ascii_plot({"s": ([0, 1], [0, 1])}, title="Figure X")
+        assert out.splitlines()[0] == "Figure X"
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"flat": ([0, 1, 2], [5, 5, 5])})
+        assert "*" in out
+
+    def test_single_point(self):
+        out = ascii_plot({"p": ([1], [1])})
+        assert "*" in out
+
+    def test_logy_drops_nonpositive(self):
+        out = ascii_plot({"s": ([0, 1, 2], [0, 10, 100])}, logy=True)
+        assert "log10" in out
+
+    def test_logy_all_nonpositive_raises(self):
+        with pytest.raises(ValueError, match="no plottable"):
+            ascii_plot({"s": ([0, 1], [0, -1])}, logy=True)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_ragged_series_raises(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            ascii_plot({"s": ([0, 1], [1])})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError, match="canvas"):
+            ascii_plot({"s": ([0], [0])}, width=2, height=2)
+
+    def test_canvas_dimensions(self):
+        out = ascii_plot({"s": ([0, 1], [0, 1])}, width=30, height=8)
+        body = [l for l in out.splitlines() if "+" in l and ".." not in l]
+        assert len(body) == 8

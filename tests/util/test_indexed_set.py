@@ -1,0 +1,101 @@
+"""Unit tests for the O(1)-sampling set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.indexed_set import IndexedSet
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        s = IndexedSet()
+        assert len(s) == 0 and 1 not in s
+
+    def test_init_from_sequence(self):
+        s = IndexedSet([3, 1, 2, 1])
+        assert len(s) == 3 and all(x in s for x in (1, 2, 3))
+
+    def test_add_and_contains(self):
+        s = IndexedSet()
+        s.add(5)
+        assert 5 in s and len(s) == 1
+
+    def test_add_duplicate_is_noop(self):
+        s = IndexedSet()
+        s.add(5)
+        s.add(5)
+        assert len(s) == 1
+
+    def test_discard(self):
+        s = IndexedSet([1, 2, 3])
+        s.discard(2)
+        assert 2 not in s and len(s) == 2
+
+    def test_discard_missing_is_noop(self):
+        s = IndexedSet([1])
+        s.discard(9)
+        assert len(s) == 1
+
+    def test_discard_last_element(self):
+        s = IndexedSet([1, 2, 3])
+        s.discard(3)  # last in internal list -> pop path
+        assert sorted(s) == [1, 2]
+
+    def test_iteration_matches_membership(self):
+        s = IndexedSet(range(10))
+        for x in (0, 5, 9):
+            s.discard(x)
+        assert sorted(s) == sorted(set(range(10)) - {0, 5, 9})
+
+
+class TestSampling:
+    def test_choice_from_empty_raises(self, rng):
+        with pytest.raises(IndexError):
+            IndexedSet().choice(rng)
+
+    def test_choice_returns_member(self, rng):
+        s = IndexedSet([10, 20, 30])
+        for _ in range(50):
+            assert s.choice(rng) in s
+
+    def test_choice_is_roughly_uniform(self, rng):
+        s = IndexedSet(range(4))
+        counts = np.zeros(4)
+        for _ in range(4000):
+            counts[s.choice(rng)] += 1
+        assert counts.min() > 800  # each ~1000 expected
+
+    def test_sample_distinct(self, rng):
+        s = IndexedSet(range(100))
+        out = s.sample(rng, 10)
+        assert len(out) == len(set(out)) == 10
+
+    def test_sample_more_than_size_returns_all(self, rng):
+        s = IndexedSet([1, 2, 3])
+        assert sorted(s.sample(rng, 10)) == [1, 2, 3]
+
+    def test_sample_zero_or_negative(self, rng):
+        s = IndexedSet([1, 2, 3])
+        assert s.sample(rng, 0) == []
+        assert s.sample(rng, -1) == []
+
+    def test_sample_small_k_rejection_path(self, rng):
+        s = IndexedSet(range(1000))
+        out = s.sample(rng, 3)  # k*8 < n triggers rejection sampling
+        assert len(set(out)) == 3
+
+    def test_sample_large_k_permutation_path(self, rng):
+        s = IndexedSet(range(16))
+        out = s.sample(rng, 10)  # k*8 >= n triggers choice path
+        assert len(set(out)) == 10
+
+    def test_sample_after_heavy_churn(self, rng):
+        s = IndexedSet()
+        for i in range(200):
+            s.add(i)
+        for i in range(0, 200, 2):
+            s.discard(i)
+        out = s.sample(rng, 20)
+        assert all(x % 2 == 1 for x in out)

@@ -1,0 +1,43 @@
+"""Unit tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_width_follows_widest_cell(self):
+        out = render_table(["h"], [["wide-cell-content"]])
+        header_line = out.splitlines()[0]
+        assert len(header_line) >= len("wide-cell-content")
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159], [12345.6], [0.0001]])
+        assert "3.14" in out
+        assert "1.23e+04" in out or "12345" in out or "1.235e+04" in out
+        assert "0.0001" in out
+
+    def test_nan_rendering(self):
+        out = render_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert len(out.splitlines()) == 2
