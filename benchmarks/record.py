@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Benchmark regression recorder: ``python benchmarks/record.py``.
+
+Executes the hot-path micro-benchmarks (scheduler event throughput,
+flood-query throughput), times representative figure harnesses, and
+measures the parallel sweep engine against its serial path, then writes
+everything to ``BENCH_<date>.json`` in the repository root.  Commit the
+JSON alongside performance-relevant changes so regressions show up as
+diffs, not vibes.
+
+Modes
+-----
+``--quick``
+    CI-scale run (~tens of seconds): smaller networks, fewer events.
+    Numbers are only comparable to other ``--quick`` records.
+``--out PATH``
+    Write the JSON somewhere else (default ``BENCH_<today>.json``).
+
+The parallel section always verifies serial/parallel metric equality
+(the engine's bit-identical contract) even on one core, where speedup
+is necessarily ~1x; the recorded ``cores`` field says how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import replicate  # noqa: E402
+from repro.experiments.configs import SearchConfig, bench_config  # noqa: E402
+from repro.experiments.figure6 import run_figure6  # noqa: E402
+from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.experiments.table3 import run_table3  # noqa: E402
+from repro.search.flooding import FloodRouter  # noqa: E402
+from repro.sim.scheduler import Simulator  # noqa: E402
+
+
+def bench_scheduler(n_events: int) -> dict:
+    """Schedule + deliver ``n_events`` self-perpetuating events."""
+    sim = Simulator(seed=0)
+    count = 0
+
+    def handler(s, e):
+        nonlocal count
+        count += 1
+        if count < n_events:
+            s.schedule(0.01, "tick")
+
+    sim.on("tick", handler)
+    sim.schedule(0.01, "tick")
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    assert count == n_events
+    return {
+        "events": n_events,
+        "wall_s": round(elapsed, 4),
+        "events_per_sec": round(n_events / elapsed),
+    }
+
+
+def bench_flooding(n: int, horizon: float, n_queries: int) -> dict:
+    """Flood queries over a settled backbone (setup excluded)."""
+    cfg = bench_config().with_(
+        n=n,
+        horizon=horizon,
+        search=SearchConfig(query_rate=0.001, n_objects=5000),
+    )
+    result = run_experiment(cfg)
+    router = FloodRouter(result.overlay, result.directory, ttl=7)
+    rng = result.ctx.sim.rng.get("micro")
+    sources = list(result.overlay.leaf_ids.sample(rng, 64))
+    catalog = result.workload.catalog
+    pairs = [
+        (sources[i % len(sources)], catalog.query_target(rng))
+        for i in range(n_queries)
+    ]
+    started = time.perf_counter()
+    hits = 0
+    for src, obj in pairs:
+        hits += router.query(src, obj).found
+    elapsed = time.perf_counter() - started
+    return {
+        "n": n,
+        "queries": n_queries,
+        "hits": hits,
+        "wall_s": round(elapsed, 4),
+        "queries_per_sec": round(n_queries / elapsed),
+    }
+
+
+def bench_harnesses(quick: bool) -> dict:
+    """Wall time of representative figure/table harnesses."""
+    walls = {}
+    cfg = bench_config()
+    if quick:
+        cfg = cfg.with_(n=400, horizon=150.0, warmup=30.0)
+
+    started = time.perf_counter()
+    run_figure6(cfg)
+    walls["figure6"] = round(time.perf_counter() - started, 3)
+
+    sizes = (300, 600) if quick else (1_000, 4_000)
+    settle, window = (80.0, 60.0) if quick else (800.0, 400.0)
+    started = time.perf_counter()
+    run_table3(sizes, settle=settle, window=window)
+    walls["table3"] = round(time.perf_counter() - started, 3)
+    return walls
+
+
+def bench_parallel(quick: bool) -> dict:
+    """Serial vs parallel replicate: speedup and metric equality."""
+    cfg = bench_config()
+    seeds = (1, 2, 3, 4)
+    if quick:
+        cfg = cfg.with_(n=300, horizon=120.0, warmup=30.0)
+        seeds = (1, 2)
+    workers = os.cpu_count() or 1
+
+    started = time.perf_counter()
+    serial = replicate(run_figure6, seeds=seeds, config=cfg, n_workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    par = replicate(run_figure6, seeds=seeds, config=cfg, n_workers=workers)
+    parallel_s = time.perf_counter() - started
+
+    identical = serial.metrics == par.metrics
+    if not identical:
+        raise AssertionError(
+            "parallel replicate diverged from serial: "
+            f"{serial.metrics} != {par.metrics}"
+        )
+    return {
+        "experiment": "figure6",
+        "seeds": list(seeds),
+        "workers": workers,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "identical_metrics": identical,
+    }
+
+
+def git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or None
+    except Exception:
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-scale run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="output path (default BENCH_<today>.json)"
+    )
+    args = parser.parse_args(argv)
+
+    record = {
+        "date": date.today().isoformat(),
+        "commit": git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": os.cpu_count(),
+        "quick": args.quick,
+    }
+
+    print("scheduler micro-benchmark...", flush=True)
+    record["scheduler"] = bench_scheduler(20_000 if args.quick else 100_000)
+    print(f"  {record['scheduler']['events_per_sec']:,} events/sec")
+
+    print("flooding micro-benchmark...", flush=True)
+    record["flooding"] = bench_flooding(
+        n=600 if args.quick else 2_000,
+        horizon=150.0 if args.quick else 300.0,
+        n_queries=500 if args.quick else 2_000,
+    )
+    print(f"  {record['flooding']['queries_per_sec']:,} queries/sec")
+
+    print("harness wall times...", flush=True)
+    record["harness_wall_s"] = bench_harnesses(args.quick)
+    for name, wall in record["harness_wall_s"].items():
+        print(f"  {name}: {wall}s")
+
+    print("parallel replicate (serial vs all-cores)...", flush=True)
+    record["parallel_replicate"] = bench_parallel(args.quick)
+    pr = record["parallel_replicate"]
+    print(
+        f"  {pr['workers']} worker(s): {pr['serial_wall_s']}s serial, "
+        f"{pr['parallel_wall_s']}s parallel ({pr['speedup']}x), "
+        f"identical={pr['identical_metrics']}"
+    )
+
+    out = Path(args.out) if args.out else ROOT / f"BENCH_{record['date']}.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

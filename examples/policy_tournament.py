@@ -7,77 +7,23 @@ churn trace, then scores them on the paper's two goals -- ratio
 maintenance and electing strong, long-lived super-peers -- plus the
 structural health of the resulting overlay.
 
+The heavy lifting lives in :mod:`repro.experiments.tournament`; the
+arms fan across cores (set ``REPRO_WORKERS`` to control the worker
+count, ``REPRO_WORKERS=1`` to force serial).
+
 Run:  python examples/policy_tournament.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import analyze_ratio_convergence, backbone_connectivity
-from repro.baselines import (
-    AdaptiveThresholdPolicy,
-    OraclePolicy,
-    PreconfiguredPolicy,
-    RandomElectionPolicy,
-    StaticPolicy,
-)
-from repro.core import DLMPolicy
-from repro.experiments import bench_config, matched_threshold, run_experiment
-from repro.util.tables import render_table
+from repro.experiments import bench_config
+from repro.experiments.tournament import run_tournament
 
 
 def main() -> None:
     cfg = bench_config().with_(n=1200, horizon=700.0, warmup=60.0, seed=31)
-    threshold = matched_threshold(cfg.eta)
-    contenders = [
-        ("DLM", lambda c: DLMPolicy(c.dlm_config())),
-        ("preconfigured", lambda c: PreconfiguredPolicy(threshold)),
-        (
-            "adaptive threshold",
-            lambda c: AdaptiveThresholdPolicy(eta=c.eta, initial_threshold=threshold),
-        ),
-        ("random election", lambda c: RandomElectionPolicy(eta=c.eta)),
-        ("oracle", lambda c: OraclePolicy(eta=c.eta, interval=20.0)),
-        ("static (none)", lambda c: StaticPolicy()),
-    ]
-
-    rows = []
-    for name, factory in contenders:
-        print(f"running {name}...")
-        result = run_experiment(cfg, policy_factory=factory)
-        series = result.series
-        conv = analyze_ratio_convergence(series["ratio"], cfg.eta)
-        age_sep = series["super_mean_age"].tail_mean() / max(
-            series["leaf_mean_age"].tail_mean(), 1e-9
-        )
-        cap_sep = series["super_mean_capacity"].tail_mean() / max(
-            series["leaf_mean_capacity"].tail_mean(), 1e-9
-        )
-        rows.append(
-            (
-                name,
-                conv.tail_mean,
-                conv.tail_error,
-                age_sep,
-                cap_sep,
-                backbone_connectivity(result.overlay),
-            )
-        )
-
-    print()
-    print(
-        render_table(
-            [
-                "policy",
-                "tail ratio",
-                "ratio error",
-                "age sep.",
-                "capacity sep.",
-                "backbone conn.",
-            ],
-            rows,
-            title=f"Layer-management tournament (target eta={cfg.eta:.0f})",
-        )
-    )
+    result = run_tournament(cfg)
+    print(result.render())
     print(
         "\nReading: the oracle shows the global-knowledge optimum; DLM "
         "should sit near it on every column, the threshold and random "

@@ -15,12 +15,14 @@ from .figure5 import Figure5Result, run_figure5
 from .figure6 import Figure6Result, run_figure6
 from .figure7 import Figure7Result, run_figure7
 from .figure8 import Figure8Result, run_figure8
+from .parallel import WORKERS_ENV, parallel_map, resolve_workers
 from .registry import EXPERIMENTS, Experiment, all_ids, get_experiment
 from .replication import MetricStats, ReplicationResult, replicate
 from .report import generate_experiments_report
 from .runner import RunResult, default_policy_factory, run_experiment
 from .sweeps import SweepPoint, SweepResult, sweep_dlm_parameters
 from .table3 import BENCH_SIZES, PAPER_SIZES, Table3Result, run_table3
+from .tournament import TournamentResult, TournamentRow, run_tournament
 
 __all__ = [
     "ComparisonRun",
@@ -48,6 +50,9 @@ __all__ = [
     "run_figure7",
     "Figure8Result",
     "run_figure8",
+    "WORKERS_ENV",
+    "parallel_map",
+    "resolve_workers",
     "EXPERIMENTS",
     "MetricStats",
     "ReplicationResult",
@@ -66,4 +71,7 @@ __all__ = [
     "PAPER_SIZES",
     "Table3Result",
     "run_table3",
+    "TournamentResult",
+    "TournamentRow",
+    "run_tournament",
 ]

@@ -8,11 +8,13 @@ table plus the shape metrics recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
 
 from .configs import bench_config, table2_config
+from .parallel import WORKERS_ENV
 from .registry import all_ids, get_experiment
 from .table3 import PAPER_SIZES, run_table3
 
@@ -45,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="override root seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep-style experiments (sets "
+        f"{WORKERS_ENV}; default: all cores, 1 forces serial)",
+    )
+    parser.add_argument(
         "--save",
         metavar="DIR",
         default=None,
@@ -56,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.workers is not None:
+        # Harnesses resolve REPRO_WORKERS themselves (see .parallel), so
+        # setting the env var reaches them through the registry's plain
+        # run(cfg) signature.
+        os.environ[WORKERS_ENV] = str(args.workers)
 
     if args.experiment == "list":
         for exp_id in all_ids():

@@ -23,6 +23,7 @@ from ..metrics.summary import summarize
 from ..util.tables import render_table
 from .comparison_run import matched_threshold
 from .configs import ExperimentConfig, bench_config
+from .parallel import parallel_map
 from .runner import run_experiment
 
 __all__ = ["Figure1Result", "run_figure1", "ARRIVAL_MIXES"]
@@ -67,29 +68,47 @@ class Figure1Result:
         }
 
 
-def run_figure1(config: ExperimentConfig | None = None) -> Figure1Result:
-    """Execute the Figure-1 reproduction."""
+def _run_mix(spec) -> Tuple[str, float, float]:
+    """Worker: one arrival mix, both policies, reduced to a row tuple.
+
+    The spec is ``(cfg, threshold, label, scale, shift_at)`` -- plain
+    picklable data; the two live run results stay in the worker.
+    """
+    cfg, threshold, label, scale, shift_at = spec
+    scenario = Scenario(
+        name=f"figure1_{scale}",
+        shifts=() if scale == 1.0 else (Shift(shift_at, "capacity", scale),),
+    )
+    pre = run_experiment(
+        cfg.with_(name=f"figure1_pre_{scale}"),
+        policy_factory=lambda c: PreconfiguredPolicy(threshold),
+        scenario=scenario,
+    )
+    dlm = run_experiment(cfg.with_(name=f"figure1_dlm_{scale}"), scenario=scenario)
+    t0 = 0.75 * cfg.horizon
+    return (
+        label,
+        summarize(pre.series["ratio"], t0, cfg.horizon).mean,
+        summarize(dlm.series["ratio"], t0, cfg.horizon).mean,
+    )
+
+
+def run_figure1(
+    config: ExperimentConfig | None = None, *, n_workers: int | None = None
+) -> Figure1Result:
+    """Execute the Figure-1 reproduction.
+
+    The three arrival mixes are independent runs and fan across
+    processes (``n_workers`` / ``REPRO_WORKERS``; see :mod:`.parallel`);
+    rows keep :data:`ARRIVAL_MIXES` order.
+    """
     cfg = config if config is not None else bench_config()
     threshold = matched_threshold(cfg.eta)
     shift_at = cfg.horizon / 3.0
-    rows: List[Tuple[str, float, float]] = []
-    for label, scale in ARRIVAL_MIXES:
-        scenario = Scenario(
-            name=f"figure1_{scale}",
-            shifts=() if scale == 1.0 else (Shift(shift_at, "capacity", scale),),
-        )
-        pre = run_experiment(
-            cfg.with_(name=f"figure1_pre_{scale}"),
-            policy_factory=lambda c: PreconfiguredPolicy(threshold),
-            scenario=scenario,
-        )
-        dlm = run_experiment(cfg.with_(name=f"figure1_dlm_{scale}"), scenario=scenario)
-        t0 = 0.75 * cfg.horizon
-        rows.append(
-            (
-                label,
-                summarize(pre.series["ratio"], t0, cfg.horizon).mean,
-                summarize(dlm.series["ratio"], t0, cfg.horizon).mean,
-            )
-        )
+    specs = [
+        (cfg, threshold, label, scale, shift_at) for label, scale in ARRIVAL_MIXES
+    ]
+    rows: List[Tuple[str, float, float]] = parallel_map(
+        _run_mix, specs, n_workers=n_workers
+    )
     return Figure1Result(threshold=threshold, eta_target=cfg.eta, rows=rows)

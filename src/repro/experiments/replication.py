@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..util.tables import render_table
 from .configs import ExperimentConfig, bench_config
+from .parallel import parallel_map
 
 __all__ = ["MetricStats", "ReplicationResult", "replicate"]
 
@@ -78,26 +79,43 @@ def _aggregate(name: str, values: List[float]) -> MetricStats:
     )
 
 
+def _shape_worker(spec) -> Dict[str, object]:
+    """Worker: one seeded run, reduced to its picklable shape metrics.
+
+    The full run result (live overlay, listeners) never leaves the
+    worker process -- only the ``check_shape()`` dict crosses back.
+    """
+    run_fn, cfg = spec
+    return dict(run_fn(cfg).check_shape())
+
+
 def replicate(
     run_fn: Callable[[ExperimentConfig], object],
     *,
     seeds: Sequence[int] = (1, 2, 3),
     config: ExperimentConfig | None = None,
     experiment: str = "experiment",
+    n_workers: int | None = None,
 ) -> ReplicationResult:
     """Run ``run_fn(config-with-seed)`` per seed and aggregate shapes.
 
     ``run_fn`` is any harness returning an object with ``check_shape()``
     (every ``run_figure*``/``run_table3`` qualifies via a lambda).
     Boolean metrics aggregate as the fraction of seeds where they held.
+
+    Seeds are independent runs, so they fan across processes
+    (``n_workers`` / ``REPRO_WORKERS``; see :mod:`.parallel`).  Each
+    worker derives all randomness from its own ``cfg.with_(seed=s)``, so
+    the aggregate is bit-identical to a serial run.  A lambda ``run_fn``
+    falls back to the serial path automatically (lambdas don't pickle).
     """
     if not seeds:
         raise ValueError("at least one seed is required")
     cfg0 = config if config is not None else bench_config()
+    specs = [(run_fn, cfg0.with_(seed=int(seed))) for seed in seeds]
+    shapes = parallel_map(_shape_worker, specs, n_workers=n_workers)
     collected: Dict[str, List[float]] = {}
-    for seed in seeds:
-        result = run_fn(cfg0.with_(seed=int(seed)))
-        shape: Mapping[str, object] = result.check_shape()
+    for shape in shapes:
         for key, value in shape.items():
             if isinstance(value, bool):
                 value = 1.0 if value else 0.0

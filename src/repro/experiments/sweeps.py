@@ -19,6 +19,7 @@ from ..analysis.convergence import analyze_ratio_convergence
 from ..core.dlm import DLMPolicy
 from ..util.tables import render_table
 from .configs import ExperimentConfig, bench_config
+from .parallel import parallel_map
 from .runner import run_experiment
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_dlm_parameters"]
@@ -86,16 +87,46 @@ class SweepResult:
         )
 
 
+def _dlm_factory(c: ExperimentConfig) -> DLMPolicy:
+    """Module-level policy factory (picklable, unlike a lambda)."""
+    return DLMPolicy(c.dlm_config())
+
+
+def _evaluate_point(spec) -> SweepPoint:
+    """Worker: run one grid point and score it.
+
+    The spec is ``(run_cfg, params)`` -- both plain picklable data; the
+    live run result stays inside the worker and only the small
+    :class:`SweepPoint` record crosses back.
+    """
+    run_cfg, params = spec
+    result = run_experiment(run_cfg, policy_factory=_dlm_factory)
+    conv = analyze_ratio_convergence(result.series["ratio"], run_cfg.eta)
+    return SweepPoint(
+        params=params,
+        tail_ratio=conv.tail_mean,
+        tail_error=conv.tail_error,
+        tail_swing=conv.tail_swing,
+        promotions=result.overlay.total_promotions,
+        demotions=result.overlay.total_demotions,
+    )
+
+
 def sweep_dlm_parameters(
     grid: Mapping[str, Sequence[object]],
     *,
     config: ExperimentConfig | None = None,
+    n_workers: int | None = None,
 ) -> SweepResult:
     """Run one experiment per grid combination and score each.
 
     ``grid`` maps DLMConfig field names to candidate values, e.g.
     ``{"alpha": [1, 2, 3], "beta": [1, 2]}`` evaluates six points.
     Unknown field names raise immediately (before any run).
+
+    Grid points are independent runs and fan across processes
+    (``n_workers`` / ``REPRO_WORKERS``; see :mod:`.parallel`); results
+    keep grid-product order regardless of completion order.
     """
     if not grid:
         raise ValueError("grid must name at least one parameter")
@@ -107,23 +138,10 @@ def sweep_dlm_parameters(
         raise ValueError(f"unknown DLMConfig fields: {sorted(unknown)}")
 
     names: Tuple[str, ...] = tuple(grid)
-    points: List[SweepPoint] = []
+    specs = []
     for combo in itertools.product(*(grid[name] for name in names)):
         params: Dict[str, object] = dict(zip(names, combo))
         dlm_cfg = dataclasses.replace(base_dlm, **params)
-        run_cfg = cfg.with_(dlm=dlm_cfg)
-        result = run_experiment(
-            run_cfg, policy_factory=lambda c: DLMPolicy(c.dlm_config())
-        )
-        conv = analyze_ratio_convergence(result.series["ratio"], cfg.eta)
-        points.append(
-            SweepPoint(
-                params=params,
-                tail_ratio=conv.tail_mean,
-                tail_error=conv.tail_error,
-                tail_swing=conv.tail_swing,
-                promotions=result.overlay.total_promotions,
-                demotions=result.overlay.total_demotions,
-            )
-        )
+        specs.append((cfg.with_(dlm=dlm_cfg), params))
+    points = parallel_map(_evaluate_point, specs, n_workers=n_workers)
     return SweepResult(points=points, config=cfg)

@@ -21,6 +21,7 @@ from ..churn.scenarios import stable_scenario
 from ..metrics.overhead import Table3Row
 from ..util.tables import render_table
 from .configs import ExperimentConfig, table2_config
+from .parallel import parallel_map
 from .runner import run_experiment
 
 __all__ = ["Table3Result", "run_table3", "PAPER_SIZES", "BENCH_SIZES"]
@@ -79,12 +80,28 @@ class Table3Result:
         }
 
 
+def _run_size(spec) -> Table3Row:
+    """Worker: one network size's windowed overhead row.
+
+    The spec is ``(cfg, n, settle, window)``; only the picklable
+    :class:`Table3Row` record returns from the worker process.
+    """
+    cfg, n, settle, window = spec
+    wired = run_experiment(cfg, scenario=stable_scenario(), run=False)
+    wired.ctx.sim.run(until=settle)
+    wired.ctx.overhead.window(settle)  # discard settling counters
+    wired.ctx.sim.run(until=settle + window)
+    counters, elapsed = wired.ctx.overhead.window(settle + window)
+    return wired.ctx.overhead.table3_row(n, counters, elapsed)
+
+
 def run_table3(
     sizes: Sequence[int] = BENCH_SIZES,
     *,
     settle: float = 800.0,
     window: float = 400.0,
     base: ExperimentConfig | None = None,
+    n_workers: int | None = None,
 ) -> Table3Result:
     """Reproduce Table 3 over the given network sizes.
 
@@ -94,19 +111,24 @@ def run_table3(
     the super-layer grows from a single seed, and the promotion overshoot
     it corrects would otherwise be misread as steady-state demotion
     overhead (calibration: 300 units is too short, 800 is clean).
+
+    Sizes are independent runs (each has its own derived seed) and fan
+    across processes (``n_workers`` / ``REPRO_WORKERS``; see
+    :mod:`.parallel`); rows keep ``sizes`` order.
     """
     if settle <= 0 or window <= 0:
         raise ValueError("settle and window must be positive")
     cfg0 = base if base is not None else table2_config()
-    rows: List[Table3Row] = []
-    for n in sizes:
-        cfg = cfg0.scaled(n, horizon=settle + window).with_(
-            name=f"table3_n{n}", seed=cfg0.seed + n
+    specs = [
+        (
+            cfg0.scaled(n, horizon=settle + window).with_(
+                name=f"table3_n{n}", seed=cfg0.seed + n
+            ),
+            n,
+            settle,
+            window,
         )
-        wired = run_experiment(cfg, scenario=stable_scenario(), run=False)
-        wired.ctx.sim.run(until=settle)
-        wired.ctx.overhead.window(settle)  # discard settling counters
-        wired.ctx.sim.run(until=settle + window)
-        counters, elapsed = wired.ctx.overhead.window(settle + window)
-        rows.append(wired.ctx.overhead.table3_row(n, counters, elapsed))
+        for n in sizes
+    ]
+    rows: List[Table3Row] = parallel_map(_run_size, specs, n_workers=n_workers)
     return Table3Result(rows=rows, settle=settle, window=window)

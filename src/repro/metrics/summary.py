@@ -43,11 +43,16 @@ def summarize(series: TimeSeries, t_from: float = 0.0, t_to: float = math.inf) -
         raise ValueError(
             f"no samples of {series.name!r} in [{t_from}, {t_to}]"
         )
+    lo = float(vals.min())
+    hi = float(vals.max())
+    # Pairwise float summation can land an epsilon outside [min, max]
+    # (e.g. mean([1.9] * 3) < 1.9); clamp so min <= mean <= max holds.
+    mean = min(max(float(vals.mean()), lo), hi)
     return SeriesSummary(
-        mean=float(vals.mean()),
+        mean=mean,
         std=float(vals.std()),
-        minimum=float(vals.min()),
-        maximum=float(vals.max()),
+        minimum=lo,
+        maximum=hi,
         n_samples=int(vals.size),
     )
 

@@ -67,6 +67,13 @@ class Overlay:
 
     def __init__(self) -> None:
         self._peers: Dict[int, Peer] = {}
+        # Bound-lookup cache: `get` is the hottest overlay call -- DLM's
+        # Phase-1/2 paths (info exchange, related-set construction, the
+        # fused super evaluation) resolve pids through it on every
+        # connection event.  Binding the registry dict's own `.get` here
+        # shadows the method below and drops one Python frame per lookup;
+        # the method definition stays as the documented contract.
+        self.get = self._peers.get
         self.super_ids = IndexedSet()
         self.leaf_ids = IndexedSet()
         self._connection_listeners: List[ConnectionListener] = []
@@ -210,7 +217,10 @@ class Overlay:
         pa, pb = self._peers[a], self._peers[b]
         if pa.is_leaf and pb.is_leaf:
             raise OverlayError(f"leaf-leaf link {a}--{b} is not allowed")
-        if self.connected(a, b):
+        # Inlined `connected` check against the already-fetched peer:
+        # connect fires on every join/repair, so the duplicate registry
+        # lookups were measurable at Table-3 scale.
+        if b in pa.super_neighbors or b in pa.leaf_neighbors:
             return False
         self._attach(pa, pb)
         self._attach(pb, pa)
@@ -231,10 +241,10 @@ class Overlay:
 
     def disconnect(self, a: int, b: int) -> bool:
         """Remove the link between ``a`` and ``b``; False if absent."""
-        if not self.connected(a, b):
+        pa, pb = self._peers[a], self._peers[b]
+        if b not in pa.super_neighbors and b not in pa.leaf_neighbors:
             return False
         self._notify_link(a, b, False)
-        pa, pb = self._peers[a], self._peers[b]
         pa.super_neighbors.discard(b)
         pa.leaf_neighbors.discard(b)
         pb.super_neighbors.discard(a)

@@ -1,0 +1,169 @@
+"""cProfile entry point for the simulation hot paths.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.profile <experiment> [options]
+
+Profiles one registered experiment (``figure6``, ``table3``, ...) or one
+of the synthetic micro-workloads (``scheduler``, ``flooding``) under
+cProfile and prints the top functions by cumulative and internal time.
+Workload setup (settling an overlay for the flooding micro-workload)
+runs outside the profiled region, so the report shows only the hot path.
+
+This is the tool that guided the scheduler/flooding/topology hot-path
+optimizations; re-run it after touching the simulation core to see where
+the time went.
+
+Examples::
+
+    python -m repro.profile figure6 --n 500 --horizon 300
+    python -m repro.profile scheduler --events 200000
+    python -m repro.profile flooding --queries 500 --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from typing import Callable, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+#: Synthetic micro-workloads profiled without a registry entry.
+MICRO_WORKLOADS = ("scheduler", "flooding")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.profile`` argument parser."""
+    from .experiments.registry import all_ids
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile",
+        description="Profile an experiment harness or micro-workload.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(all_ids()) + list(MICRO_WORKLOADS),
+        help="registered experiment id or a micro-workload",
+    )
+    parser.add_argument("--n", type=int, default=1000, help="network size")
+    parser.add_argument(
+        "--horizon", type=float, default=400.0, help="simulated horizon"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root seed")
+    parser.add_argument(
+        "--events", type=int, default=100_000, help="events for the scheduler workload"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=200, help="queries for the flooding workload"
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime"),
+        default="cumulative",
+        help="primary sort order of the report",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=25, help="rows to print per report"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also dump raw pstats data to this path"
+    )
+    return parser
+
+
+def _scheduler_workload(events: int) -> Callable[[], object]:
+    """Self-perpetuating event chain: pure scheduler overhead."""
+    from .sim.scheduler import Simulator
+
+    def run() -> int:
+        sim = Simulator(seed=0)
+        remaining = [events]
+
+        def handler(s, e):
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                s.schedule(0.01, "tick")
+
+        sim.on("tick", handler)
+        sim.schedule(0.01, "tick")
+        sim.run()
+        return sim.events_processed
+
+    return run
+
+
+def _flooding_workload(queries: int, n: int) -> Callable[[], object]:
+    """Repeated flood queries over a settled bench-scale backbone.
+
+    The settling run happens here, outside the profiled region.
+    """
+    from .experiments.configs import SearchConfig, bench_config
+    from .experiments.runner import run_experiment
+    from .search.flooding import FloodRouter
+
+    cfg = bench_config().with_(
+        n=n, horizon=300.0, search=SearchConfig(query_rate=0.001, n_objects=5000)
+    )
+    result = run_experiment(cfg)
+    router = FloodRouter(result.overlay, result.directory, ttl=7)
+    rng = result.ctx.sim.rng.get("profile")
+    sources = result.overlay.leaf_ids.sample(rng, 64)
+    catalog = result.workload.catalog
+    pairs = [
+        (sources[i % len(sources)], catalog.query_target(rng))
+        for i in range(queries)
+    ]
+
+    def run() -> int:
+        hits = 0
+        for src, obj in pairs:
+            hits += router.query(src, obj).found
+        return hits
+
+    return run
+
+
+def _experiment_workload(args: argparse.Namespace) -> Callable[[], object]:
+    """One registered experiment harness at the requested scale."""
+    from .experiments.configs import bench_config
+    from .experiments.registry import get_experiment
+
+    cfg = bench_config().with_(n=args.n, horizon=args.horizon)
+    if args.seed is not None:
+        cfg = cfg.with_(seed=args.seed)
+    exp = get_experiment(args.experiment)
+    return lambda: exp.run(cfg)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "scheduler":
+        workload = _scheduler_workload(args.events)
+    elif args.experiment == "flooding":
+        workload = _flooding_workload(args.queries, args.n)
+    else:
+        workload = _experiment_workload(args)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs()
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    secondary = "tottime" if args.sort == "cumulative" else "cumulative"
+    print(f"--- top by {secondary} ---", file=sys.stderr)
+    stats.sort_stats(secondary).print_stats(args.limit)
+    if args.out:
+        stats.dump_stats(args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -57,6 +57,11 @@ class MessageLedger:
         self._counts: Dict[str, int] = defaultdict(int)
         self._bytes: Dict[str, int] = defaultdict(int)
         self._piggybacked: Dict[str, int] = defaultdict(int)
+        # Per-type cost cache: (wire name, bytes per message, piggybacked).
+        # ``record`` fires for every message of a run (hundreds of
+        # thousands at bench scale); resolving wire_name/size_bytes()
+        # once per type instead of per call is a measurable win.
+        self._cost_cache: Dict[Type[Message], tuple] = {}
         self._mark: LedgerSnapshot = self.snapshot()
 
     # -- recording --------------------------------------------------------
@@ -64,13 +69,20 @@ class MessageLedger:
         """Charge ``count`` messages of ``msg_type``."""
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        name = msg_type.wire_name
+        cached = self._cost_cache.get(msg_type)
+        if cached is None:
+            name = msg_type.wire_name
+            pig = self.piggyback and msg_type in DLM_MESSAGE_TYPES
+            unit = (
+                VALUE_BYTES * msg_type.n_values if pig else msg_type.size_bytes()
+            )
+            cached = (name, unit, pig)
+            self._cost_cache[msg_type] = cached
+        name, unit, pig = cached
         self._counts[name] += count
-        if self.piggyback and msg_type in DLM_MESSAGE_TYPES:
+        if pig:
             self._piggybacked[name] += count
-            self._bytes[name] += VALUE_BYTES * msg_type.n_values * count
-        else:
-            self._bytes[name] += msg_type.size_bytes() * count
+        self._bytes[name] += unit * count
 
     def record_message(self, msg: Message) -> None:
         """Charge a concrete message instance."""

@@ -12,16 +12,33 @@ The router is a BFS with per-copy TTL semantics: every transmission of
 the query over a backbone link is one ``query`` message (duplicates
 included -- floods pay for redundant deliveries); every hit routes one
 ``query_hit`` back along the inverse path, one message per hop.
+
+Hot-path notes (profiled with ``python -m repro.profile flooding``):
+
+The BFS runs over a *dense snapshot* of the super-layer adjacency
+(contiguous integer indices, neighbor lists materialized once) instead of
+chasing peer objects and hashing pids per hop, and its visited/depth/
+delay state lives in reused stamped arrays -- a per-query ``stamp``
+bump invalidates all three without clearing.  The snapshot subscribes to
+the overlay's existing link/membership/role event streams and is rebuilt
+lazily on the first query after any event that can change backbone
+adjacency (super--super link churn, promotions/demotions, super
+join/leave); between such events every query reuses it.  Expansion order
+matches the old per-query BFS exactly -- neighbor lists are built from
+the same set iteration the old code looped over -- so outcomes are
+bit-identical.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..overlay.peer import Peer
+from ..overlay.roles import Role
 from ..overlay.topology import Overlay
 from ..protocol.accounting import MessageLedger
 from ..protocol.latency import LatencyModel
@@ -74,10 +91,61 @@ class FloodRouter:
         self.ledger = ledger
         self.latency = latency
         self.rng = rng
+        # -- backbone snapshot state (rebuilt lazily when dirty) ----------
+        self._dirty = True
+        self._pid_index: Dict[int, int] = {}
+        self._pids: List[int] = []
+        self._adjacency: List[List[int]] = []
+        self._seen: List[int] = []
+        self._depth: List[int] = []
+        self._delay: List[float] = []
+        self._stamp = 0
+        overlay.add_link_listener(self._on_link)
+        overlay.add_membership_listener(self._on_membership)
+        overlay.add_role_listener(self._on_role)
 
     def _hop_delay(self) -> float:
         assert self.latency is not None and self.rng is not None
         return self.latency.sample_one(self.rng)
+
+    # -- snapshot maintenance ---------------------------------------------
+    def _on_link(self, a: int, b: int, created: bool) -> None:
+        pa = self.overlay.get(a)
+        pb = self.overlay.get(b)
+        if pa is not None and pb is not None and pa.is_super and pb.is_super:
+            self._dirty = True
+
+    def _on_membership(self, peer: Peer, joined: bool) -> None:
+        if peer.is_super:
+            self._dirty = True
+
+    def _on_role(self, peer: Peer, old_role: Role) -> None:
+        # Promotions/demotions re-file links without link events.
+        self._dirty = True
+
+    def _rebuild(self) -> None:
+        """Materialize the super-layer adjacency with dense indices."""
+        overlay = self.overlay
+        pid_index: Dict[int, int] = {}
+        pids: List[int] = []
+        for sid in overlay.super_ids:
+            pid_index[sid] = len(pids)
+            pids.append(sid)
+        get = overlay.get
+        # Neighbor lists preserve super_neighbors' set-iteration order,
+        # which is what the per-query BFS used to iterate.
+        adjacency = [
+            [pid_index[n] for n in get(sid).super_neighbors] for sid in pids
+        ]
+        n = len(pids)
+        self._pid_index = pid_index
+        self._pids = pids
+        self._adjacency = adjacency
+        self._seen = [0] * n
+        self._depth = [0] * n
+        self._delay = [0.0] * n
+        self._stamp = 0
+        self._dirty = False
 
     def query(self, source: int, obj: int) -> QueryOutcome:
         """Issue a query for ``obj`` from peer ``source``.
@@ -87,11 +155,12 @@ class FloodRouter:
         starts the flood itself.
         """
         peer = self.overlay.peer(source)
+        directory = self.directory
         query_messages = 0
         hits = 0
         first_hit_hops: Optional[int] = None
 
-        if obj in self.directory.files(source):
+        if obj in directory.files(source):
             # Local storage satisfies the query without any traffic.
             return QueryOutcome(
                 obj=obj,
@@ -105,31 +174,58 @@ class FloodRouter:
                 first_hit_latency=0.0 if self.latency is not None else None,
             )
 
-        # Seed the flood frontier.
+        if self._dirty:
+            self._rebuild()
+        pid_index = self._pid_index
+        pids = self._pids
+        adjacency = self._adjacency
+        seen = self._seen
+        depth = self._depth
+        delay = self._delay
+        self._stamp += 1
+        stamp = self._stamp
+        ttl = self.ttl
         timed = self.latency is not None
-        depth: Dict[int, int] = {}
-        delay: Dict[int, float] = {}
+        files_map, index_map = directory.hit_tables()
+        files_get = files_map.get
+        index_get = index_map.get
+
+        # Seed the flood frontier.
         frontier: deque[int] = deque()
         if peer.is_super:
-            depth[source] = 0
-            delay[source] = 0.0
-            frontier.append(source)
+            i = pid_index[source]
+            seen[i] = stamp
+            depth[i] = 0
+            delay[i] = 0.0
+            frontier.append(i)
         else:
             for sid in peer.super_neighbors:
                 query_messages += 1
-                if sid not in depth:
-                    depth[sid] = 1
-                    delay[sid] = self._hop_delay() if timed else 0.0
-                    frontier.append(sid)
+                i = pid_index[sid]
+                if seen[i] != stamp:
+                    seen[i] = stamp
+                    depth[i] = 1
+                    delay[i] = self._hop_delay() if timed else 0.0
+                    frontier.append(i)
 
         hit_messages = 0
         visited = 0
         first_hit_latency: Optional[float] = None
+        pop = frontier.popleft
+        push = frontier.append
         while frontier:
-            sid = frontier.popleft()
-            d = depth[sid]
+            i = pop()
+            d = depth[i]
             visited += 1
-            if self.directory.super_hit(sid, obj):
+            # Inlined ContentDirectory.super_hit (see hit_tables()).
+            pid = pids[i]
+            own = files_get(pid)
+            if own is not None and obj in own:
+                hit = True
+            else:
+                idx = index_get(pid)
+                hit = idx is not None and idx.get(obj, 0) > 0
+            if hit:
                 hits += 1
                 hit_messages += d  # QueryHit back along the inverse path
                 if first_hit_hops is None:
@@ -142,16 +238,19 @@ class FloodRouter:
                             if d
                             else 0.0
                         )
-                        first_hit_latency = delay[sid] + back
-            if d >= self.ttl:
+                        first_hit_latency = delay[i] + back
+            if d >= ttl:
                 continue
-            sup = self.overlay.peer(sid)
-            for nxt in sup.super_neighbors:
-                query_messages += 1  # every transmission costs, dup or not
-                if nxt not in depth:
-                    depth[nxt] = d + 1
-                    delay[nxt] = (delay[sid] + self._hop_delay()) if timed else 0.0
-                    frontier.append(nxt)
+            neighbors = adjacency[i]
+            query_messages += len(neighbors)  # every transmission, dup or not
+            d1 = d + 1
+            for j in neighbors:
+                if seen[j] != stamp:
+                    seen[j] = stamp
+                    depth[j] = d1
+                    if timed:
+                        delay[j] = delay[i] + self._hop_delay()
+                    push(j)
 
         if self.ledger is not None:
             self.ledger.record(QueryMessage, query_messages)

@@ -63,6 +63,16 @@ class ContentDirectory:
         idx = self._index.get(super_id)
         return bool(idx) and idx.get(obj, 0) > 0
 
+    def hit_tables(self) -> Tuple[Dict[int, Tuple[int, ...]], Dict[int, Counter]]:
+        """The live ``(files, index)`` lookup tables, for read-only use.
+
+        The flood router inlines :meth:`super_hit` against these in its
+        BFS inner loop -- one method call per visited super-peer is the
+        dominant per-query cost at bench scale.  Callers must treat both
+        mappings as read-only; they are the directory's live state.
+        """
+        return self._files, self._index
+
     def holders_via_super(self, super_id: int, obj: int) -> int:
         """Number of copies reachable through this super (self + leaves)."""
         own = 1 if obj in self._files.get(super_id, ()) else 0

@@ -79,7 +79,7 @@ class Event:
     time: float
     kind: str
     payload: Mapping[str, Any] = field(default_factory=dict)
-    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+    seq: int = field(default_factory=_SEQUENCE.__next__)
     cancelled: bool = False
 
     def cancel(self) -> None:

@@ -13,6 +13,25 @@ sampling, neighbor selection, query workload, ...) draws from its own
 Stream derivation hashes the name into ``numpy.random.SeedSequence``'s
 ``spawn_key`` mechanism, which is the documented way to build independent
 child streams.
+
+Worker derivation (the parallel-sweep contract)
+-----------------------------------------------
+
+Reproducibility is what makes the parallel sweep engine
+(:mod:`repro.experiments.parallel`) free of coordination: a worker
+process receives only an integer root seed (inside its config spec) and
+rebuilds the exact stream family locally --
+
+* root: ``SeedSequence(entropy=seed)``;
+* per-stream offset: ``SeedSequence(entropy=seed,
+  spawn_key=(crc32(name),))``, one child per stream *name*.
+
+No generator state is ever pickled or shared between processes, and the
+derivation depends only on ``(seed, name)``, so a run executed in a
+worker is bit-identical to the same seed run serially in the parent.
+Harnesses that need distinct runs therefore vary the *seed* (e.g.
+``cfg.with_(seed=s)`` per replication seed, ``seed + n`` per Table-3
+size) and never hand out generators across the process boundary.
 """
 
 from __future__ import annotations

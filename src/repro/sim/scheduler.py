@@ -9,12 +9,29 @@ being deterministic and seedable.
 Handlers are callables ``handler(sim, event)`` registered per event kind;
 multiple handlers per kind fire in registration order.  Handlers may
 schedule further events (at or after the current time).
+
+Hot-path notes (profiled with ``python -m repro.profile scheduler``):
+
+* The heap holds ``(time, seq, event)`` tuples, not events, so ``heapq``
+  compares in C instead of dispatching ``Event.__lt__`` -- at bench scale
+  the dataclass comparison alone was ~5% of a full run.
+* :meth:`run` inlines the pop/dispatch loop with the queue, clock, and
+  handler registry bound to locals; handler lists are resolved with one
+  dict lookup per event (``on``/``off`` mutate the lists in place, so a
+  registration made by a handler is visible to the very next event).
+* The clock is advanced by direct assignment: the heap pops times in
+  nondecreasing order and :meth:`schedule_at` rejects past times, so the
+  monotonicity check in :meth:`SimClock.advance_to` is provably redundant
+  on this path.
+* Payload-less events share one immutable empty mapping instead of
+  allocating a fresh dict each (payloads are read-only by contract).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from heapq import heappop, heappush
+from types import MappingProxyType
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from .clock import SimClock
 from .events import Event
@@ -23,6 +40,9 @@ from .rng import RngStreams
 __all__ = ["Simulator", "Handler", "StopSimulation"]
 
 Handler = Callable[["Simulator", Event], None]
+
+#: Shared payload for events scheduled without one (read-only mapping).
+_EMPTY_PAYLOAD: Mapping[str, Any] = MappingProxyType({})
 
 
 class StopSimulation(Exception):
@@ -44,7 +64,7 @@ class Simulator:
     def __init__(self, seed: int = 0, start: float = 0.0) -> None:
         self.clock = SimClock(start)
         self.rng = RngStreams(seed)
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._handlers: Dict[str, List[Handler]] = {}
         self._events_processed = 0
         self._running = False
@@ -64,6 +84,14 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    def queued_events(self):
+        """Iterate the queued events (heap order, cancelled included).
+
+        Introspection helper for tests and debugging; the heap itself
+        stores ``(time, seq, event)`` tuples.
+        """
+        return (entry[2] for entry in self._queue)
 
     # -- wiring --------------------------------------------------------------
     def on(self, kind: str, handler: Handler) -> None:
@@ -94,7 +122,7 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self.schedule_at(self.now + delay, kind, payload)
+        return self.schedule_at(self.clock._now + delay, kind, payload)
 
     def schedule_at(
         self,
@@ -103,23 +131,33 @@ class Simulator:
         payload: Optional[Mapping[str, Any]] = None,
     ) -> Event:
         """Schedule an event at absolute simulated ``time``; returns it."""
-        if time < self.now:
-            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        ev = Event(time=time, kind=kind, payload=payload or {})
-        heapq.heappush(self._queue, ev)
+        if time < self.clock._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self.clock._now}"
+            )
+        ev = Event(
+            time=time,
+            kind=kind,
+            payload=_EMPTY_PAYLOAD if payload is None else payload,
+        )
+        heappush(self._queue, (time, ev.seq, ev))
         return ev
 
     # -- execution -----------------------------------------------------------
     def step(self) -> Optional[Event]:
         """Deliver the next non-cancelled event; return it (or None if empty)."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            ev = heappop(queue)[2]
             if ev.cancelled:
                 continue
-            self.clock.advance_to(ev.time)
+            # Heap order makes this monotone; skip advance_to's check.
+            self.clock._now = ev.time
             self._events_processed += 1
-            for handler in self._handlers.get(ev.kind, ()):
-                handler(self, ev)
+            handlers = self._handlers.get(ev.kind)
+            if handlers:
+                for handler in handlers:
+                    handler(self, ev)
             return ev
         return None
 
@@ -137,26 +175,36 @@ class Simulator:
         """
         self._running = True
         delivered = 0
+        queue = self._queue
+        registry = self._handlers
+        clock = self.clock
         try:
-            while self._queue:
-                nxt = self._queue[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                head = queue[0]
+                ev = head[2]
+                if ev.cancelled:
+                    heappop(queue)
                     continue
-                if until is not None and nxt.time > until:
+                if until is not None and head[0] > until:
                     break
                 if max_events is not None and delivered >= max_events:
                     break
-                self.step()
+                heappop(queue)
+                clock._now = head[0]
+                self._events_processed += 1
+                handlers = registry.get(ev.kind)
+                if handlers:
+                    for handler in handlers:
+                        handler(self, ev)
                 delivered += 1
         except StopSimulation:
             pass
         finally:
             self._running = False
-        if until is not None and self.now < until and not self._queue:
+        if until is not None and clock._now < until and not queue:
             # Drained early: jump the clock to the horizon so that metric
             # timestamps computed from `now` are well defined.
-            self.clock.advance_to(until)
+            clock._now = until
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -73,7 +73,7 @@ class TestEventDrivenTriggering:
         policy.request_evaluation(0)
         pending = sum(
             1
-            for ev in ctx.sim._queue
+            for ev in ctx.sim.queued_events()
             if ev.kind == EventKind.DLM_EVALUATE
             and not ev.cancelled
             and ev.payload.get("pid") == 0
