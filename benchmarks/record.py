@@ -15,6 +15,12 @@ Modes
     Numbers are only comparable to other ``--quick`` records.
 ``--out PATH``
     Write the JSON somewhere else (default ``BENCH_<today>.json``).
+``--compare PREV.json``
+    After recording, diff the throughput metrics against a previous
+    record and exit nonzero if any regressed more than ``--threshold``
+    (default 15%).  This is the CI regression gate: compare against the
+    latest committed ``BENCH_*.json``.  Records taken with a different
+    ``--quick`` setting are not comparable; the gate warns and passes.
 
 The parallel section always verifies serial/parallel metric equality
 (the engine's bit-identical contract) even on one core, where speedup
@@ -153,6 +159,46 @@ def bench_parallel(quick: bool) -> dict:
     }
 
 
+#: Throughput metrics gated by ``--compare`` (higher is better).
+THROUGHPUT_METRICS = (
+    ("scheduler", "events_per_sec"),
+    ("flooding", "queries_per_sec"),
+)
+
+
+def compare_records(prev: dict, new: dict, threshold: float) -> tuple[list, list]:
+    """Diff throughput metrics; return (failures, warnings).
+
+    A failure is a drop of more than ``threshold`` (fraction) in any
+    :data:`THROUGHPUT_METRICS` entry.  Incomparable records (different
+    ``quick`` mode, or a metric missing on either side) produce
+    warnings, never failures -- the gate must not block on a record
+    taken at a different scale.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    if prev.get("quick") != new.get("quick"):
+        warnings.append(
+            f"records not comparable: prev quick={prev.get('quick')} vs "
+            f"new quick={new.get('quick')}; skipping throughput gate"
+        )
+        return failures, warnings
+    for section, metric in THROUGHPUT_METRICS:
+        label = f"{section}.{metric}"
+        before = prev.get(section, {}).get(metric)
+        after = new.get(section, {}).get(metric)
+        if not before or after is None:
+            warnings.append(f"{label}: missing in one record, skipped")
+            continue
+        change = (after - before) / before
+        line = f"{label}: {before:,} -> {after:,} ({change:+.1%})"
+        if change < -threshold:
+            failures.append(f"{line} exceeds -{threshold:.0%} gate")
+        elif change < 0:
+            warnings.append(line)
+    return failures, warnings
+
+
 def git_commit() -> str | None:
     try:
         out = subprocess.run(
@@ -174,6 +220,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", default=None, help="output path (default BENCH_<today>.json)"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="PREV.json",
+        help="gate against a previous record; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max tolerated throughput drop as a fraction (default 0.15)",
     )
     args = parser.parse_args(argv)
 
@@ -215,6 +273,18 @@ def main(argv=None) -> int:
     out = Path(args.out) if args.out else ROOT / f"BENCH_{record['date']}.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nwrote {out}")
+
+    if args.compare:
+        prev = json.loads(Path(args.compare).read_text())
+        failures, warnings = compare_records(prev, record, args.threshold)
+        print(f"\ncomparing against {args.compare}:")
+        for line in warnings:
+            print(f"  warn: {line}")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        if failures:
+            return 1
+        print("  throughput gate passed")
     return 0
 
 

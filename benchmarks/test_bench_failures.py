@@ -52,7 +52,8 @@ def test_bench_failure_recovery(benchmark, bench_cfg):
         run, rounds=1, iterations=1
     )
     emit(
-        f"Failure drill -- {FRACTION:.0%} of the super-layer removed at t={FAIL_AT:.0f}",
+        f"Failure drill -- {FRACTION:.0%} of the super-layer removed "
+        f"at t={FAIL_AT:.0f}",
         render_table(
             ["policy", "ratio before", "peak ratio in shock", "tail ratio"],
             [

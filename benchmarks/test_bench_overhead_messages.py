@@ -66,7 +66,7 @@ def test_bench_piggyback_savings(benchmark, bench_cfg):
         from repro.context import build_context
         from repro.core.dlm import DLMPolicy
         from repro.experiments.runner import build_distributions
-        from repro.metrics.layerstats import LayerStatsSampler
+        from repro.metrics.layerstats import LayerStatsSampler  # noqa: F401
         from repro.sim.processes import PeriodicProcess
 
         ctx = build_context(seed=cfg.seed, m=cfg.m, k_s=cfg.k_s, piggyback=True)

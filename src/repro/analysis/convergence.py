@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..metrics.summary import oscillation_amplitude, relative_error, summarize, time_to_converge
+from ..metrics.summary import (
+    oscillation_amplitude,
+    relative_error,
+    summarize,
+    time_to_converge,
+)
 from ..metrics.timeseries import TimeSeries
 
 __all__ = ["ConvergenceReport", "analyze_ratio_convergence"]

@@ -86,14 +86,20 @@ def figure45_scenario(
 
 
 def _periodic(
-    target: str, period: float, horizon: float, first: float, second: float, start: float
+    target: str,
+    period: float,
+    horizon: float,
+    first: float,
+    second: float,
+    start: float,
 ) -> List[Shift]:
     """Alternate the scale between ``first`` and ``second`` every period."""
     shifts: List[Shift] = []
     t = start
     use_first = True
     while t <= horizon:
-        shifts.append(Shift(time=t, target=target, scale=first if use_first else second))
+        scale = first if use_first else second
+        shifts.append(Shift(time=t, target=target, scale=scale))
         use_first = not use_first
         t += period
     return shifts

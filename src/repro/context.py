@@ -5,6 +5,14 @@ super-peer system is made of, so layer policies (:mod:`repro.core.dlm`,
 :mod:`repro.baselines`) and drivers (:mod:`repro.churn.lifecycle`,
 :mod:`repro.search`) can be wired against a single object instead of six.
 
+The ``faults`` argument selects the information-collection mode: ``None``
+wires the omniscient exchange plus
+:class:`~repro.protocol.knowledge.OmniscientKnowledge` (instant perfect
+information, bit-identical to the pre-message-driven code); a
+:class:`~repro.protocol.faults.FaultPlan` wires the message-driven
+exchange plus :class:`~repro.protocol.knowledge.ObservedKnowledge`, so
+the evaluator only sees what responses delivered.
+
 Use :func:`build_context` for the standard wiring; tests that need exotic
 setups construct the pieces by hand.
 """
@@ -19,6 +27,12 @@ from .overlay.bootstrap import JoinProcedure
 from .overlay.maintenance import Maintenance
 from .overlay.topology import Overlay
 from .protocol.accounting import MessageLedger
+from .protocol.faults import FaultPlan
+from .protocol.knowledge import (
+    KnowledgeSource,
+    ObservedKnowledge,
+    OmniscientKnowledge,
+)
 from .protocol.transport import InfoExchange
 from .sim.scheduler import Simulator
 
@@ -35,9 +49,11 @@ class SystemContext:
     maintenance: Maintenance
     messages: MessageLedger
     info: InfoExchange
+    knowledge: KnowledgeSource
     overhead: OverheadLedger
     m: int
     k_s: int
+    faults: Optional[FaultPlan] = None
 
     @property
     def now(self) -> float:
@@ -52,6 +68,7 @@ def build_context(
     k_s: int = 3,
     piggyback: bool = False,
     sim: Optional[Simulator] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SystemContext:
     """Standard wiring of a fresh system (Table-2 degree parameters).
 
@@ -65,13 +82,21 @@ def build_context(
         Whether DLM control messages ride in existing traffic (§6).
     sim:
         An existing simulator to attach to (tests re-use one).
+    faults:
+        ``None`` for omniscient information collection; a
+        :class:`FaultPlan` for the message-driven engine with its loss,
+        latency, and timeout parameters.
     """
     sim = sim if sim is not None else Simulator(seed=seed)
     overlay = Overlay()
     join = JoinProcedure(overlay, m, sim.rng.get("bootstrap"), k_s=k_s)
     maintenance = Maintenance(overlay, join, m=m, k_s=k_s)
     messages = MessageLedger(piggyback=piggyback)
-    info = InfoExchange(overlay, messages)
+    info = InfoExchange(overlay, messages, sim=sim, faults=faults)
+    if faults is None:
+        knowledge: KnowledgeSource = OmniscientKnowledge(overlay)
+    else:
+        knowledge = ObservedKnowledge(overlay, faults.staleness_horizon)
     overhead = OverheadLedger(m)
     return SystemContext(
         sim=sim,
@@ -80,7 +105,9 @@ def build_context(
         maintenance=maintenance,
         messages=messages,
         info=info,
+        knowledge=knowledge,
         overhead=overhead,
         m=m,
         k_s=k_s,
+        faults=faults,
     )

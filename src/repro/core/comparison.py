@@ -19,13 +19,20 @@ than paying array-construction overhead on tiny inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..overlay.peer import Peer
+from ..protocol.knowledge import UNKNOWN, KnowledgeSource
 from .related_set import RelatedSetView
 
-__all__ = ["ComparisonResult", "scaled_fractions", "compare_against"]
+__all__ = [
+    "ComparisonResult",
+    "scaled_fractions",
+    "compare_against",
+    "compare_leaves_observed",
+]
 
 #: Related sets at or above this size take the vectorized path.
 _VECTOR_THRESHOLD = 24
@@ -84,4 +91,50 @@ def compare_against(
     """Convenience wrapper taking a :class:`RelatedSetView`."""
     return scaled_fractions(
         own_capacity, own_age, view.capacities, view.ages, x_capa, x_age
+    )
+
+
+def compare_leaves_observed(
+    knowledge: KnowledgeSource,
+    peer: Peer,
+    members: Iterable[int],
+    now: float,
+    x_capa: float,
+    x_age: float,
+) -> Tuple[Optional[ComparisonResult], int]:
+    """Fused Y-counter pass for a super against its observed leaves.
+
+    Reads each member's (capacity, age) through ``knowledge`` and
+    compares in one loop without materializing a view -- this is the
+    hottest loop at full scale (profiled ~25% of a run).  Returns the
+    :class:`ComparisonResult` over the *usable* members (None when no
+    member is usable) plus the count of members that are alive but
+    unobserved/stale, so the caller can defer instead of acting on a
+    partial picture.  Equivalence with the view-based path is
+    unit-tested.
+    """
+    own_cap = peer.capacity
+    own_age = now - peer.join_time
+    usable = 0
+    missing = 0
+    hits_c = 0
+    hits_a = 0
+    observe = knowledge.observe_leaf
+    for lid in members:
+        obs = observe(peer, lid, now)
+        if obs is None:  # pragma: no cover - adjacency is live
+            continue
+        if obs is UNKNOWN:
+            missing += 1
+            continue
+        usable += 1
+        if obs[0] * x_capa > own_cap:
+            hits_c += 1
+        if obs[1] * x_age > own_age:
+            hits_a += 1
+    if usable == 0:
+        return None, missing
+    return (
+        ComparisonResult(y_capa=hits_c / usable, y_age=hits_a / usable, g_size=usable),
+        missing,
     )

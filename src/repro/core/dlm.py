@@ -2,16 +2,26 @@
 
 Per §4, every peer independently runs the four phases:
 
-1. **Information collection** -- event-driven on connection creation
-   (charged to the message ledger through
-   :class:`~repro.protocol.transport.InfoExchange`); an optional periodic
-   refresh sweep reproduces the paper's alternative policy (ablation A3).
-2. **Ratio estimation** -- µ from local ``l_nn`` observations
+1. **Information collection** -- event-driven on connection creation,
+   carried by :class:`~repro.protocol.transport.InfoExchange`; an
+   optional periodic refresh sweep reproduces the paper's alternative
+   policy (ablation A3).  The policy does not assume instant knowledge:
+   it registers a *completion listener* with the exchange and evaluates
+   a peer when that peer's requests resolve -- immediately in omniscient
+   mode, on response arrival in message-driven mode.
+2. **Ratio estimation** -- µ from ``l_nn`` observations
    (:class:`~repro.core.estimator.RatioEstimator`).
 3. **Scaled comparison** -- Y counters against the related set with
    µ-adapted scale factors (:mod:`repro.core.comparison`).
 4. **Promotion/demotion** -- threshold rule with µ-adapted thresholds,
    executed through :class:`~repro.core.transitions.TransitionExecutor`.
+
+All metric values of phases 2-3 are read through the context's
+:class:`~repro.protocol.knowledge.KnowledgeSource`; when required
+observations are missing or stale the evaluation is *deferred* -- the
+peer asks the exchange to refresh (:meth:`InfoExchange.ensure_fresh`)
+and will be re-evaluated when the responses arrive.  The evaluator
+never fabricates values for members it has not observed.
 
 Evaluations triggered by a connection are *deferred* as zero-delay
 simulator events (deduplicated per peer) rather than run inline; a
@@ -39,7 +49,7 @@ from ..overlay.peer import Peer
 from ..overlay.roles import Role
 from ..sim.events import EventKind
 from ..sim.processes import PeriodicProcess
-from .comparison import ComparisonResult, compare_against
+from .comparison import compare_against, compare_leaves_observed
 from .config import DLMConfig
 from .decisions import Action, Decision, decide
 from .estimator import RatioEstimator
@@ -74,12 +84,19 @@ class DLMPolicy(LayerPolicy):
         self.promotions = 0
         self.demotions = 0
         self.forced_demotions = 0
+        self.deferrals = 0
 
     # -- wiring --------------------------------------------------------------
     def _install(self, ctx: SystemContext) -> None:
         self._executor = TransitionExecutor(ctx, min_supers=self.config.min_supers)
         ctx.overlay.add_connection_listener(self._on_connection)
         ctx.sim.on(EventKind.DLM_EVALUATE, self._on_evaluate_event)
+        if self.config.event_driven:
+            # Evaluate when a peer's Phase-1 requests resolve: immediately
+            # in omniscient mode, on response arrival in message-driven
+            # mode.  The exchange fires this for both endpoints of every
+            # new connection.
+            ctx.info.add_completion_listener(self.request_evaluation)
         if self.config.periodic_interval is not None:
             self._sweep = PeriodicProcess(
                 ctx.sim,
@@ -114,11 +131,9 @@ class DLMPolicy(LayerPolicy):
 
     # -- phase 1: triggers ---------------------------------------------------
     def _on_connection(self, a: int, b: int) -> None:
-        ctx = self.ctx
-        ctx.info.on_connection_created(a, b)
-        if self.config.event_driven:
-            self.request_evaluation(a)
-            self.request_evaluation(b)
+        # The exchange fires the completion listener (-> evaluation) for
+        # both endpoints once their requests resolve.
+        self.ctx.info.on_connection_created(a, b)
 
     def request_evaluation(self, pid: int) -> None:
         """Queue a deduplicated zero-delay evaluation of ``pid``."""
@@ -188,49 +203,59 @@ class DLMPolicy(LayerPolicy):
             self._act(peer, decision)
         return decision
 
+    def _defer(self, peer: Peer) -> None:
+        """Phase-1 knowledge is incomplete: refresh instead of acting.
+
+        The exchange's completion listener re-triggers the evaluation
+        when the requested responses arrive (or permanently fail).
+        """
+        self.deferrals += 1
+        self.ctx.info.ensure_fresh(peer.pid)
+
     def _evaluate_leaf(self, peer: Peer, now: float) -> Optional[Decision]:
         if not peer.eligible:
             return None  # §2 capability requirements gate promotion
         ctx = self.ctx
         view = leaf_related_set(
-            ctx.overlay, peer, now, current_only=self.config.leaf_g_current_only
+            ctx.knowledge, peer, now, current_only=self.config.leaf_g_current_only
         )
         if len(view) < self.config.min_related_set:
+            if view.missing:
+                self._defer(peer)
             return None
         mu = self.estimator.mu_for_leaf(view)
         if mu is None:
+            # Members are observed but no l_nn has been delivered yet
+            # (message-driven mode only): never fabricate a ratio.
+            self._defer(peer)
             return None
         params = self.scaler.adapt(mu)
-        y = compare_against(view, peer.capacity, peer.age(now), params.x_capa, params.x_age)
+        y = compare_against(
+            view, peer.capacity, peer.age(now), params.x_capa, params.x_age
+        )
         return decide(Role.LEAF, y, params)
 
     def _evaluate_super(self, peer: Peer, now: float) -> Optional[Decision]:
         ctx = self.ctx
         mu = self.estimator.mu_for_super(peer)
         params = self.scaler.adapt(mu)
-        n = len(peer.leaf_neighbors)
-        if n >= self.config.min_related_set:
+        if len(peer.leaf_neighbors) >= self.config.min_related_set:
             # Fused fast path: G(s) is the current leaf neighbors, so the
-            # Y counters can be computed in one pass over the adjacency
-            # without materializing a RelatedSetView -- this is the
-            # hottest loop at full scale (profiled ~25% of a run).
-            # Equivalence with the view-based path is unit-tested.
-            get = ctx.overlay.get
-            own_cap = peer.capacity
-            own_age = now - peer.join_time
-            x_capa = params.x_capa
-            x_age = params.x_age
-            hits_c = 0
-            hits_a = 0
-            for lid in peer.leaf_neighbors:
-                other = get(lid)
-                if other is None:  # pragma: no cover - adjacency is live
-                    continue
-                if other.capacity * x_capa > own_cap:
-                    hits_c += 1
-                if (now - other.join_time) * x_age > own_age:
-                    hits_a += 1
-            y = ComparisonResult(y_capa=hits_c / n, y_age=hits_a / n, g_size=n)
+            # Y counters are computed in one observed pass over the
+            # adjacency without materializing a RelatedSetView.
+            y, _missing = compare_leaves_observed(
+                ctx.knowledge,
+                peer,
+                peer.leaf_neighbors,
+                now,
+                params.x_capa,
+                params.x_age,
+            )
+            if y is None or y.g_size < self.config.min_related_set:
+                # Enough leaf links, too few *observed* leaves
+                # (message-driven mode only): refresh and retry.
+                self._defer(peer)
+                return None
             return decide(Role.SUPER, y, params)
         # Too few leaves for a comparison (|G(s)| = l_nn here); fall
         # back to the ratio-only forced-demotion rule.

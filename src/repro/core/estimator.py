@@ -7,14 +7,18 @@ super-peers reflect the current global ratio: the average ``l_nn`` equals
 
     µ = log(l_nn / k_l) = log(η_current / η_target)
 
-up to sampling noise.  A super-peer uses its *own* ``l_nn``; a leaf-peer
-averages the ``l_nn`` of the super-peers in its related set ``G(l)``.
+up to sampling noise.  A super-peer uses its *own* ``l_nn`` (local
+knowledge: the size of its leaf adjacency); a leaf-peer averages the
+``l_nn`` values its related set's supers *reported* -- carried in the
+view built from observations, never read from live state.  A view with
+members but no delivered ``l_nn`` observations yields ``None`` (the
+evaluator defers; a mean over zero observations would fabricate µ=µ_min
+from the floor).
 """
 
 from __future__ import annotations
 
 from ..overlay.peer import Peer
-from ..overlay.topology import Overlay
 from .config import DLMConfig
 from .equations import mu_inappropriateness
 from .related_set import RelatedSetView
@@ -33,12 +37,15 @@ class RatioEstimator:
         return mu_inappropriateness(len(peer.leaf_neighbors), self.config.k_l)
 
     def mu_for_leaf(self, view: RelatedSetView) -> float | None:
-        """µ from the mean ``l_nn`` over G(l); None when G is empty."""
-        if len(view) == 0:
+        """µ from the mean observed ``l_nn`` over G(l).
+
+        None when G is empty or no member's ``l_nn`` has been observed.
+        """
+        if len(view) == 0 or not view.leaf_counts:
             return None
         return mu_inappropriateness(view.mean_leaf_count, self.config.k_l)
 
-    def mu_for(self, overlay: Overlay, peer: Peer, view: RelatedSetView) -> float | None:
+    def mu_for(self, peer: Peer, view: RelatedSetView) -> float | None:
         """Role-dispatching µ."""
         if peer.is_super:
             return self.mu_for_super(peer)

@@ -6,10 +6,19 @@ recent period; the paper's simulation takes "all the super-peers that a
 leaf-peer has connected since it joins the network", which is what the
 overlay records in ``Peer.contacted_supers``.
 
+Member *identity* comes from the peer's own adjacency and contact
+history (local knowledge); member *metric values* are read through a
+:class:`~repro.protocol.knowledge.KnowledgeSource`, never from live
+overlay state -- in message-driven mode that is the peer's observation
+cache, and a member whose values were never delivered (or have gone
+stale) is counted in :attr:`RelatedSetView.missing` instead of being
+fabricated, so the evaluator can defer.
+
 Departed super-peers are pruned lazily at view-construction time: their
 metric values are no longer observable, and keeping ghosts would let a
 leaf compare itself against peers that no longer exist.  (DESIGN.md
-documents this as an interpretation decision.)
+documents this as an interpretation decision.)  Pruning also drops the
+observer's cached observation of the departed member.
 """
 
 from __future__ import annotations
@@ -18,59 +27,75 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..overlay.peer import Peer
-from ..overlay.topology import Overlay
+from ..protocol.knowledge import UNKNOWN, KnowledgeSource
 
 __all__ = ["RelatedSetView", "super_related_set", "leaf_related_set"]
 
 
 @dataclass(frozen=True, slots=True)
 class RelatedSetView:
-    """Metric values of a peer's related set at one instant.
+    """Observed metric values of a peer's related set at one instant.
 
     ``capacities[i]`` and ``ages[i]`` belong to the same member;
     ``leaf_counts`` is only populated for a *leaf's* view (the observed
-    ``l_nn`` of each super in ``G(l)``, feeding the µ estimate).
+    ``l_nn`` of each super in ``G(l)``, feeding the µ estimate) and may
+    be shorter than ``members`` when some ``l_nn`` observations are
+    missing.  ``missing`` counts members that are alive but whose values
+    the observer does not (usably) know -- nonzero only in
+    message-driven mode, and the evaluator's cue to defer.
     """
 
     members: Tuple[int, ...]
     capacities: Tuple[float, ...]
     ages: Tuple[float, ...]
     leaf_counts: Tuple[int, ...] = ()
+    missing: int = 0
 
     def __len__(self) -> int:
         return len(self.members)
 
     @property
     def mean_leaf_count(self) -> float:
-        """Average observed ``l_nn``; 0.0 for an empty view."""
+        """Average observed ``l_nn``; 0.0 with no observations."""
         if not self.leaf_counts:
             return 0.0
         return sum(self.leaf_counts) / len(self.leaf_counts)
 
 
-def super_related_set(overlay: Overlay, peer: Peer, now: float) -> RelatedSetView:
-    """G(s): the super-peer's current leaf neighbors."""
+def super_related_set(
+    knowledge: KnowledgeSource, peer: Peer, now: float
+) -> RelatedSetView:
+    """G(s): the super-peer's current leaf neighbors, as observed."""
     members: List[int] = []
     caps: List[float] = []
     ages: List[float] = []
+    missing = 0
     for lid in peer.leaf_neighbors:
-        other = overlay.get(lid)
-        if other is None:
+        obs = knowledge.observe_leaf(peer, lid, now)
+        if obs is None:
+            continue
+        if obs is UNKNOWN:
+            missing += 1
             continue
         members.append(lid)
-        caps.append(other.capacity)
-        ages.append(other.age(now))
-    return RelatedSetView(tuple(members), tuple(caps), tuple(ages))
+        caps.append(obs[0])
+        ages.append(obs[1])
+    return RelatedSetView(tuple(members), tuple(caps), tuple(ages), missing=missing)
 
 
 def leaf_related_set(
-    overlay: Overlay, peer: Peer, now: float, *, current_only: bool = False
+    knowledge: KnowledgeSource,
+    peer: Peer,
+    now: float,
+    *,
+    current_only: bool = False,
 ) -> RelatedSetView:
     """G(l): live super-peers contacted since join, pruning the departed.
 
-    Mutates ``peer.contacted_supers`` to drop members that have left the
-    network or been demoted (their values are unobservable), keeping the
-    set's size bounded by churn rather than history length.
+    Mutates ``peer.contacted_supers`` (and the observation cache) to
+    drop members that have left the network or been demoted (their
+    values are gone for good), keeping the set's size bounded by churn
+    rather than history length.
 
     ``current_only=True`` restricts G(l) to the leaf's *current* super
     links instead of its contact history -- the A4 ablation comparing the
@@ -81,16 +106,24 @@ def leaf_related_set(
     ages: List[float] = []
     lnn: List[int] = []
     dead: List[int] = []
+    missing = 0
     source = peer.super_neighbors if current_only else peer.contacted_supers
     for sid in source:
-        other = overlay.get(sid)
-        if other is None or not other.is_super:
+        obs = knowledge.observe_super(peer, sid, now)
+        if obs is None:
             dead.append(sid)
             continue
+        if obs is UNKNOWN:
+            missing += 1
+            continue
         members.append(sid)
-        caps.append(other.capacity)
-        ages.append(other.age(now))
-        lnn.append(len(other.leaf_neighbors))
+        caps.append(obs[0])
+        ages.append(obs[1])
+        if obs[2] is not None:
+            lnn.append(obs[2])
     for sid in dead:
         peer.contacted_supers.discard(sid)
-    return RelatedSetView(tuple(members), tuple(caps), tuple(ages), tuple(lnn))
+        peer.knowledge.forget(sid)
+    return RelatedSetView(
+        tuple(members), tuple(caps), tuple(ages), tuple(lnn), missing=missing
+    )

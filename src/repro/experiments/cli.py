@@ -55,6 +55,23 @@ def build_parser() -> argparse.ArgumentParser:
         f"{WORKERS_ENV}; default: all cores, 1 forces serial)",
     )
     parser.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="enable the message-driven Phase-1 engine with drop "
+        "probability P per message leg (0 still routes knowledge "
+        "through messages)",
+    )
+    parser.add_argument(
+        "--latency-scale",
+        type=float,
+        default=None,
+        metavar="L",
+        help="median one-way Phase-1 message delay in time units "
+        "(implies the message-driven engine)",
+    )
+    parser.add_argument(
         "--save",
         metavar="DIR",
         default=None,
@@ -92,6 +109,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cfg = cfg.with_(horizon=args.horizon)
     if args.seed is not None:
         cfg = cfg.with_(seed=args.seed)
+    if args.loss is not None or args.latency_scale is not None:
+        from ..protocol.faults import FaultPlan
+
+        cfg = cfg.with_(
+            faults=FaultPlan(
+                loss_rate=args.loss or 0.0,
+                latency_scale=args.latency_scale or 0.0,
+            )
+        )
 
     started = time.perf_counter()
     if args.experiment == "table3" and args.n is None:

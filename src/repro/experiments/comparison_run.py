@@ -81,4 +81,6 @@ def run_comparison(config: ExperimentConfig | None = None) -> ComparisonRun:
         policy_factory=lambda c: PreconfiguredPolicy(threshold),
         scenario=scenario,
     )
-    return ComparisonRun(dlm=dlm, preconfigured=pre, threshold=threshold, scenario=scenario)
+    return ComparisonRun(
+        dlm=dlm, preconfigured=pre, threshold=threshold, scenario=scenario
+    )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.config import DLMConfig
+from ..protocol.faults import FaultPlan
 
 __all__ = ["ExperimentConfig", "SearchConfig", "table2_config", "bench_config"]
 
@@ -48,6 +49,11 @@ class ExperimentConfig:
     ``lifetime_median``/``lifetime_sigma`` parameterize the log-normal
     session distribution; ``capacity`` uses the 4-class bandwidth mixture
     (see :mod:`repro.churn.distributions`).
+
+    ``faults`` selects the Phase-1 information-collection mode: ``None``
+    (default) is the omniscient exchange; a
+    :class:`~repro.protocol.faults.FaultPlan` routes knowledge through
+    the message-driven engine with its loss/latency/timeout knobs.
     """
 
     name: str = "table2"
@@ -64,6 +70,7 @@ class ExperimentConfig:
     lifetime_sigma: float = 1.0
     dlm: Optional[DLMConfig] = None
     search: Optional[SearchConfig] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:

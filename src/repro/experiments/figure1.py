@@ -51,7 +51,8 @@ class Figure1Result:
             self.rows,
             title=(
                 "Figure 1 -- tail layer-size ratios "
-                f"(threshold={self.threshold:.0f} KB/s, target eta={self.eta_target:.0f})"
+                f"(threshold={self.threshold:.0f} KB/s, "
+                f"target eta={self.eta_target:.0f})"
             ),
         )
 
@@ -64,7 +65,9 @@ class Figure1Result:
         return {
             "pre_b_over_a": ratios_pre[b] / ratios_pre[a],
             "pre_c_over_a": ratios_pre[c] / ratios_pre[a],
-            "dlm_spread": max(ratios_dlm.values()) / max(1e-9, min(ratios_dlm.values())),
+            "dlm_spread": (
+                max(ratios_dlm.values()) / max(1e-9, min(ratios_dlm.values()))
+            ),
         }
 
 

@@ -49,8 +49,10 @@ class MechanicsResult:
             ),
         ]
         if self.orphans:
-            parts.append(f"orphaned leaves (each makes 1 reconnect): "
-                         f"{', '.join(self.orphans)}")
+            parts.append(
+                "orphaned leaves (each makes 1 reconnect): "
+                f"{', '.join(self.orphans)}"
+            )
         return "\n".join(parts)
 
 

@@ -39,6 +39,8 @@ class Figure4Result:
         """Shape metrics: tail separation and ordering violations."""
         cfg = self.run.result.config
         t0 = transient if transient is not None else 2 * cfg.warmup
+        if t0 >= cfg.horizon:  # short-horizon override: keep a window
+            t0 = cfg.warmup
         sup = self.series["super_mean_age"]
         leaf = self.series["leaf_mean_age"]
         sep = separation_factor(sup, leaf, t_from=t0, t_to=cfg.horizon)

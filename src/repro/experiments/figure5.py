@@ -45,6 +45,8 @@ class Figure5Result:
         """
         cfg = self.run.result.config
         t0 = transient if transient is not None else 2 * cfg.warmup
+        if t0 >= cfg.horizon:  # short-horizon override: keep a window
+            t0 = cfg.warmup
         shift = self.run.capacity_shift_at
         recovery = shift + 0.6 * (cfg.horizon - shift)
         sup = self.series["super_mean_capacity"]
@@ -56,7 +58,9 @@ class Figure5Result:
             recovery, cfg.horizon
         )
         s_mid, l_mid = sup.window(shift, recovery), leaf.window(shift, recovery)
-        before = summarize(sup, t_from=max(t0, shift - 0.25 * cfg.horizon), t_to=shift).mean
+        before = summarize(
+            sup, t_from=max(t0, shift - 0.25 * cfg.horizon), t_to=shift
+        ).mean
         after = summarize(sup, t_from=recovery, t_to=cfg.horizon).mean
         return {
             "separation_pre_shift": sep_pre,

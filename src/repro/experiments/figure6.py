@@ -34,6 +34,8 @@ class Figure6Result:
         """Shape metrics: tail ratio vs η and ratio flatness."""
         cfg = self.run.result.config
         t0 = transient if transient is not None else 2 * cfg.warmup
+        if t0 >= cfg.horizon:  # short-horizon override: keep a window
+            t0 = cfg.warmup
         ratio = self.series["ratio"]
         tail = summarize(ratio, t_from=t0, t_to=cfg.horizon)
         return {

@@ -32,6 +32,8 @@ class Figure7Result:
         """Shape metrics: per-policy ratio swing, tail error, success rates."""
         cfg = self.run.dlm.config
         t0 = transient if transient is not None else 2 * cfg.warmup
+        if t0 >= cfg.horizon:  # short-horizon override: keep a window
+            t0 = cfg.warmup
         dlm_ratio = self.run.dlm.series["ratio"]
         pre_ratio = self.run.preconfigured.series["ratio"]
         dlm_q = self.run.dlm.query_stats

@@ -30,6 +30,8 @@ class Figure8Result:
         """Shape metrics: age separations and cross-policy super-age gap."""
         cfg = self.run.dlm.config
         t0 = transient if transient is not None else 2 * cfg.warmup
+        if t0 >= cfg.horizon:  # short-horizon override: keep a window
+            t0 = cfg.warmup
         dlm_sep = separation_factor(
             self.run.dlm.series["super_mean_age"],
             self.run.dlm.series["leaf_mean_age"],

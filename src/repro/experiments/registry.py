@@ -17,6 +17,7 @@ from .figure5 import run_figure5
 from .figure6 import run_figure6
 from .figure7 import run_figure7
 from .figure8 import run_figure8
+from .figure_faults import run_figure_faults
 from .table3 import run_table3
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment"]
@@ -88,6 +89,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Table 3",
             "Peer Adjustment Overhead analysis across network sizes",
             _table3_adapter,
+        ),
+        Experiment(
+            "figure_faults",
+            "Extension",
+            "Ratio maintenance and overhead under message loss/latency",
+            run_figure_faults,
         ),
     )
 }

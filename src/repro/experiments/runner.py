@@ -86,7 +86,9 @@ def run_experiment(
     With ``run=False`` the caller receives the fully wired system before
     any event fires -- used by tests that want to single-step.
     """
-    ctx = build_context(seed=config.seed, m=config.m, k_s=config.k_s)
+    ctx = build_context(
+        seed=config.seed, m=config.m, k_s=config.k_s, faults=config.faults
+    )
     policy = policy_factory(config)
     policy.bind(ctx)
 

@@ -36,7 +36,9 @@ class SeriesSummary:
     n_samples: int
 
 
-def summarize(series: TimeSeries, t_from: float = 0.0, t_to: float = math.inf) -> SeriesSummary:
+def summarize(
+    series: TimeSeries, t_from: float = 0.0, t_to: float = math.inf
+) -> SeriesSummary:
     """Descriptors over the samples in ``[t_from, t_to]``."""
     vals = series.window(t_from, t_to)
     if vals.size == 0:

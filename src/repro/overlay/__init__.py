@@ -6,6 +6,7 @@ join/bootstrap procedures, degree maintenance, and networkx export.
 
 from .bootstrap import JoinProcedure
 from .graph_export import backbone_graph, to_networkx
+from .knowledge import NeighborKnowledge, Observation
 from .maintenance import Maintenance, RepairReport
 from .peer import Peer
 from .roles import Role
@@ -15,6 +16,8 @@ __all__ = [
     "JoinProcedure",
     "backbone_graph",
     "to_networkx",
+    "NeighborKnowledge",
+    "Observation",
     "Maintenance",
     "RepairReport",
     "Peer",

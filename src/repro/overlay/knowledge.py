@@ -1,0 +1,102 @@
+"""A peer's cache of observed neighbor metric values.
+
+DLM's Phase 1 carries ``l_nn``, ``capacity``, and ``age`` in explicit
+messages (Table 1); what a peer can legitimately evaluate against is the
+last values those messages delivered, not live simulation state.  Each
+:class:`~repro.overlay.peer.Peer` owns one :class:`NeighborKnowledge`
+instance holding an :class:`Observation` per neighbor, stamped with the
+simulated time the values were *sampled at the responder* (so an
+in-flight delay does not silently age the data twice).
+
+The read policies over this cache -- omniscient vs message-driven,
+staleness horizons, the UNKNOWN sentinel -- live in
+:mod:`repro.protocol.knowledge`; this module is deliberately
+dependency-free so the peer model can embed the cache without layering
+cycles.
+
+Ages extrapolate exactly: age grows linearly in time, so a single
+observation ``(age_at_obs, values_time)`` yields the true age at any
+later ``now`` as ``age_at_obs + (now - values_time)`` -- staleness of an
+age observation only matters because the peer itself may be gone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["Observation", "NeighborKnowledge"]
+
+_NEVER = -math.inf
+
+
+@dataclass(slots=True)
+class Observation:
+    """One neighbor's last-reported metric values.
+
+    ``capacity`` and ``age_at_obs`` come from a ``value_response``
+    (stamped ``values_time``); ``l_nn`` from a ``neigh_num_response``
+    (stamped ``lnn_time``).  The two pairs arrive independently, so
+    either half may be missing (timestamp of ``-inf``).
+    """
+
+    capacity: float = 0.0
+    age_at_obs: float = 0.0
+    values_time: float = _NEVER
+    l_nn: Optional[int] = None
+    lnn_time: float = _NEVER
+
+    @property
+    def has_values(self) -> bool:
+        """Whether a ``value_response`` has ever been recorded."""
+        return self.values_time != _NEVER
+
+    def age(self, now: float) -> float:
+        """The neighbor's age at ``now``, extrapolated exactly."""
+        return self.age_at_obs + (now - self.values_time)
+
+
+class NeighborKnowledge:
+    """A peer's cache of neighbor observations, keyed by pid."""
+
+    __slots__ = ("_obs",)
+
+    def __init__(self) -> None:
+        self._obs: Dict[int, Observation] = {}
+
+    def __len__(self) -> int:
+        return len(self._obs)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._obs
+
+    def get(self, pid: int) -> Optional[Observation]:
+        """The observation of ``pid``, or None if never observed."""
+        return self._obs.get(pid)
+
+    def _entry(self, pid: int) -> Observation:
+        obs = self._obs.get(pid)
+        if obs is None:
+            obs = Observation()
+            self._obs[pid] = obs
+        return obs
+
+    def observe_values(
+        self, pid: int, capacity: float, age: float, now: float
+    ) -> None:
+        """Record a ``value_response`` from ``pid`` sampled at ``now``."""
+        obs = self._entry(pid)
+        obs.capacity = capacity
+        obs.age_at_obs = age
+        obs.values_time = now
+
+    def observe_lnn(self, pid: int, l_nn: int, now: float) -> None:
+        """Record a ``neigh_num_response`` from ``pid`` sampled at ``now``."""
+        obs = self._entry(pid)
+        obs.l_nn = l_nn
+        obs.lnn_time = now
+
+    def forget(self, pid: int) -> None:
+        """Drop the observation of ``pid`` (the neighbor is gone)."""
+        self._obs.pop(pid, None)

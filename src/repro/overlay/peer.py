@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Set
 
+from .knowledge import NeighborKnowledge
 from .roles import Role
 
 __all__ = ["Peer"]
@@ -53,6 +54,11 @@ class Peer:
     role_change_time:
         When the peer last changed layer (join counts); drives the DLM
         anti-flapping cooldown.
+    knowledge:
+        The peer's :class:`~repro.overlay.knowledge.NeighborKnowledge`
+        cache of observed neighbor metric values, populated by Phase-1
+        responses (message-driven mode) and read by the evaluator
+        through a :class:`~repro.protocol.knowledge.KnowledgeSource`.
     eligible:
         Whether the peer meets the super-peer capability requirements
         the Gnutella Ultrapeer proposal lists besides capacity -- "not
@@ -71,6 +77,7 @@ class Peer:
     contacted_supers: Set[int] = field(default_factory=set)
     role_change_time: float = 0.0
     eligible: bool = True
+    knowledge: NeighborKnowledge = field(default_factory=NeighborKnowledge)
 
     def __post_init__(self) -> None:
         if self.capacity < 0:

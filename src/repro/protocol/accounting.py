@@ -6,6 +6,13 @@ piggybacked in other messages available".  The ledger therefore tracks,
 per message type: messages sent, messages piggybacked (charged zero
 standalone bytes beyond their value fields), and bytes.
 
+Under the message-driven Phase-1 engine the same request may be sent
+several times (timeout + retry), so the ledger also keeps two honesty
+counters the §6-style overhead reports need: ``retransmissions`` (wire
+messages that were repeats -- included in ``counts``/``bytes``, since
+they really travel) and ``timeouts`` (attempts given up on -- *not*
+wire messages, so counted separately and never charged bytes).
+
 The counters are cumulative; :meth:`window` takes a checkpoint so callers
 can compute per-interval rates (used by the overhead benches).
 """
@@ -13,7 +20,7 @@ can compute per-interval rates (used by the overhead benches).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Type
 
 from .messages import (
@@ -33,6 +40,8 @@ class LedgerSnapshot:
     counts: Mapping[str, int]
     bytes: Mapping[str, int]
     piggybacked: Mapping[str, int]
+    retransmissions: Mapping[str, int] = field(default_factory=dict)
+    timeouts: Mapping[str, int] = field(default_factory=dict)
 
     def total_count(self, names: Iterable[str] | None = None) -> int:
         """Messages recorded, optionally restricted to ``names``."""
@@ -57,6 +66,8 @@ class MessageLedger:
         self._counts: Dict[str, int] = defaultdict(int)
         self._bytes: Dict[str, int] = defaultdict(int)
         self._piggybacked: Dict[str, int] = defaultdict(int)
+        self._retransmissions: Dict[str, int] = defaultdict(int)
+        self._timeouts: Dict[str, int] = defaultdict(int)
         # Per-type cost cache: (wire name, bytes per message, piggybacked).
         # ``record`` fires for every message of a run (hundreds of
         # thousands at bench scale); resolving wire_name/size_bytes()
@@ -65,8 +76,20 @@ class MessageLedger:
         self._mark: LedgerSnapshot = self.snapshot()
 
     # -- recording --------------------------------------------------------
-    def record(self, msg_type: Type[Message], count: int = 1) -> None:
-        """Charge ``count`` messages of ``msg_type``."""
+    def record(
+        self,
+        msg_type: Type[Message],
+        count: int = 1,
+        *,
+        retransmission: bool = False,
+    ) -> None:
+        """Charge ``count`` messages of ``msg_type``.
+
+        ``retransmission=True`` marks the messages as repeats of an
+        earlier attempt: they are still real wire traffic (full count
+        and byte charge) but are additionally tallied so overhead
+        reports can separate first-time exchange cost from retry cost.
+        """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         cached = self._cost_cache.get(msg_type)
@@ -82,11 +105,24 @@ class MessageLedger:
         self._counts[name] += count
         if pig:
             self._piggybacked[name] += count
+        if retransmission:
+            self._retransmissions[name] += count
         self._bytes[name] += unit * count
 
     def record_message(self, msg: Message) -> None:
         """Charge a concrete message instance."""
         self.record(type(msg))
+
+    def record_timeout(self, msg_type: Type[Message], count: int = 1) -> None:
+        """Tally ``count`` timed-out attempts of ``msg_type``.
+
+        A timeout is *not* a wire message -- the request was already
+        charged when sent -- so this touches neither ``counts`` nor
+        ``bytes``, only the dedicated timeout tally.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._timeouts[msg_type.wire_name] += count
 
     # -- reading ------------------------------------------------------------
     def count(self, msg_type: Type[Message]) -> int:
@@ -97,12 +133,22 @@ class MessageLedger:
         """Bytes charged to one message type so far."""
         return self._bytes[msg_type.wire_name]
 
+    def retransmissions_for(self, msg_type: Type[Message]) -> int:
+        """Retransmitted messages of one type so far."""
+        return self._retransmissions[msg_type.wire_name]
+
+    def timeouts_for(self, msg_type: Type[Message]) -> int:
+        """Timed-out attempts of one type so far."""
+        return self._timeouts[msg_type.wire_name]
+
     def snapshot(self) -> LedgerSnapshot:
         """Immutable copy of the cumulative counters."""
         return LedgerSnapshot(
             counts=dict(self._counts),
             bytes=dict(self._bytes),
             piggybacked=dict(self._piggybacked),
+            retransmissions=dict(self._retransmissions),
+            timeouts=dict(self._timeouts),
         )
 
     # -- aggregates ---------------------------------------------------------
@@ -115,6 +161,16 @@ class MessageLedger:
     def dlm_bytes(self) -> int:
         """Total DLM control bytes so far."""
         return sum(self._bytes[t.wire_name] for t in DLM_MESSAGE_TYPES)
+
+    @property
+    def dlm_retransmissions(self) -> int:
+        """Total DLM messages that were retransmissions."""
+        return sum(self._retransmissions[t.wire_name] for t in DLM_MESSAGE_TYPES)
+
+    @property
+    def dlm_timeouts(self) -> int:
+        """Total DLM request attempts that timed out."""
+        return sum(self._timeouts[t.wire_name] for t in DLM_MESSAGE_TYPES)
 
     @property
     def search_messages(self) -> int:
@@ -138,22 +194,16 @@ class MessageLedger:
         """Counters accumulated since the previous :meth:`window` call."""
         current = self.snapshot()
         prev = self._mark
+
+        def _diff(cur: Mapping[str, int], old: Mapping[str, int]) -> Dict[str, int]:
+            return {k: v - old.get(k, 0) for k, v in cur.items() if v - old.get(k, 0)}
+
         delta = LedgerSnapshot(
-            counts={
-                k: v - prev.counts.get(k, 0)
-                for k, v in current.counts.items()
-                if v - prev.counts.get(k, 0)
-            },
-            bytes={
-                k: v - prev.bytes.get(k, 0)
-                for k, v in current.bytes.items()
-                if v - prev.bytes.get(k, 0)
-            },
-            piggybacked={
-                k: v - prev.piggybacked.get(k, 0)
-                for k, v in current.piggybacked.items()
-                if v - prev.piggybacked.get(k, 0)
-            },
+            counts=_diff(current.counts, prev.counts),
+            bytes=_diff(current.bytes, prev.bytes),
+            piggybacked=_diff(current.piggybacked, prev.piggybacked),
+            retransmissions=_diff(current.retransmissions, prev.retransmissions),
+            timeouts=_diff(current.timeouts, prev.timeouts),
         )
         self._mark = current
         return delta

@@ -1,0 +1,144 @@
+"""Knowledge sources: how the evaluator reads neighbor metric values.
+
+The DLM evaluator (phases 2-3) compares a peer against the metric values
+of its related set.  Those values are carried by Phase-1 messages, so
+what a peer can legitimately use is its cache of observations -- the
+last ``l_nn``, ``capacity``, and ``age`` each response reported (the
+:class:`~repro.overlay.knowledge.NeighborKnowledge` cache each peer
+owns).  This module defines the single read API core code goes through
+(:class:`KnowledgeSource`) and its two implementations:
+
+* :class:`ObservedKnowledge` -- the honest source: reads only the
+  observer's cache (populated by the transport's responses), reports
+  :data:`UNKNOWN` for neighbors with no usable or non-stale observation
+  so the evaluator can defer instead of fabricating values.
+* :class:`OmniscientKnowledge` -- the degenerate source modeling the
+  paper's implicit assumption of instant, free, perfect information:
+  an observation request is answered synchronously from live state.
+  With faults disabled this reproduces the pre-refactor evaluator bit
+  for bit (same reads, same float expressions).
+
+Both return ``None`` for a target that is gone for good (departed or
+changed layer), which callers treat as "prune from the related set" --
+exactly the liveness pruning the pre-refactor evaluator did inline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..overlay.knowledge import NeighborKnowledge, Observation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..overlay.peer import Peer
+    from ..overlay.topology import Overlay
+
+__all__ = [
+    "UNKNOWN",
+    "Observation",
+    "NeighborKnowledge",
+    "KnowledgeSource",
+    "OmniscientKnowledge",
+    "ObservedKnowledge",
+]
+
+
+class _Unknown:
+    """Sentinel: the neighbor is alive but its values are not known."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNKNOWN"
+
+
+#: Returned by a knowledge source when the neighbor exists but the
+#: observer holds no usable (present and non-stale) observation of it.
+#: Distinct from ``None``, which means the neighbor is gone for good
+#: (departed or demoted) and should be pruned from related sets.
+UNKNOWN = _Unknown()
+
+#: (capacity, age, l_nn-or-None) of an observed super-peer.
+SuperObservation = Tuple[float, float, Optional[int]]
+#: (capacity, age) of an observed leaf-peer.
+LeafObservation = Tuple[float, float]
+
+
+class KnowledgeSource:
+    """Read API the evaluator uses for every neighbor metric value.
+
+    Both methods return ``None`` when the target is gone (departed or
+    changed layer -- prune it), :data:`UNKNOWN` when it is alive but the
+    observer has nothing usable (defer), or the value tuple.
+    """
+
+    def observe_super(self, observer: "Peer", sid: int, now: float):
+        """What ``observer`` knows about super-peer ``sid``."""
+        raise NotImplementedError
+
+    def observe_leaf(self, observer: "Peer", lid: int, now: float):
+        """What ``observer`` knows about leaf-peer ``lid``."""
+        raise NotImplementedError
+
+
+class OmniscientKnowledge(KnowledgeSource):
+    """Instant perfect knowledge, read live (the paper's assumption)."""
+
+    __slots__ = ("_get",)
+
+    def __init__(self, overlay: "Overlay") -> None:
+        self._get = overlay.get
+
+    def observe_super(self, observer: "Peer", sid: int, now: float):
+        """Live (capacity, age, l_nn) of ``sid``; None if gone/demoted."""
+        p = self._get(sid)
+        if p is None or not p.is_super:
+            return None
+        return (p.capacity, now - p.join_time, len(p.leaf_neighbors))
+
+    def observe_leaf(self, observer: "Peer", lid: int, now: float):
+        """Live (capacity, age) of ``lid``; None if gone/promoted."""
+        p = self._get(lid)
+        if p is None or not p.is_leaf:
+            return None
+        return (p.capacity, now - p.join_time)
+
+
+class ObservedKnowledge(KnowledgeSource):
+    """Knowledge limited to what Phase-1 responses actually delivered."""
+
+    __slots__ = ("_get", "horizon")
+
+    def __init__(self, overlay: "Overlay", horizon: float = math.inf) -> None:
+        if horizon <= 0:
+            raise ValueError(f"staleness horizon must be positive, got {horizon}")
+        self._get = overlay.get
+        self.horizon = horizon
+
+    def observe_super(self, observer: "Peer", sid: int, now: float):
+        """Cached (capacity, age, l_nn) of ``sid``; UNKNOWN if unusable."""
+        p = self._get(sid)
+        if p is None or not p.is_super:
+            return None
+        obs = observer.knowledge.get(sid)
+        if obs is None or not obs.has_values:
+            return UNKNOWN
+        if now - obs.values_time > self.horizon:
+            return UNKNOWN
+        l_nn = obs.l_nn
+        if l_nn is not None and now - obs.lnn_time > self.horizon:
+            l_nn = None
+        return (obs.capacity, obs.age(now), l_nn)
+
+    def observe_leaf(self, observer: "Peer", lid: int, now: float):
+        """Cached (capacity, age) of ``lid``; UNKNOWN if unusable."""
+        p = self._get(lid)
+        if p is None or not p.is_leaf:
+            return None
+        obs = observer.knowledge.get(lid)
+        if obs is None or not obs.has_values:
+            return UNKNOWN
+        if now - obs.values_time > self.horizon:
+            return UNKNOWN
+        return (obs.capacity, obs.age(now))

@@ -37,6 +37,8 @@ class EventKind:
     QUERY_ISSUED = "query_issued"
     METRICS_SAMPLE = "metrics_sample"
     SCENARIO_SHIFT = "scenario_shift"
+    TRANSPORT_DELIVER = "transport_deliver"
+    TRANSPORT_TIMEOUT = "transport_timeout"
     GENERIC = "generic"
 
     _ALL = (
@@ -49,6 +51,8 @@ class EventKind:
         QUERY_ISSUED,
         METRICS_SAMPLE,
         SCENARIO_SHIFT,
+        TRANSPORT_DELIVER,
+        TRANSPORT_TIMEOUT,
         GENERIC,
     )
 

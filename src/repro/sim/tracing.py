@@ -4,17 +4,24 @@ A :class:`Tracer` subscribes to a set of event kinds on a simulator and
 records ``(time, kind, payload)`` tuples, optionally bounded.  Used by the
 integration tests to assert on event sequences and by the examples to show
 what a run did.
+
+A :class:`TransportTracer` is the structured consumer for the Phase-1
+request lifecycle: it attaches to
+:meth:`~repro.protocol.transport.InfoExchange.add_trace_listener` and
+records every ``sent`` / ``retried`` / ``dropped`` / ``timed_out`` /
+``satisfied`` / ``failed`` stage with its request metadata, keeping
+exact per-stage counts plus a bounded ring of full records.
 """
 
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Deque, Iterable, Optional, Tuple
+from typing import Deque, Iterable, Mapping, Optional, Tuple
 
 from .events import Event
 from .scheduler import Simulator
 
-__all__ = ["Tracer", "TraceRecord"]
+__all__ = ["Tracer", "TraceRecord", "TransportTracer"]
 
 TraceRecord = Tuple[float, str, dict]
 
@@ -63,6 +70,50 @@ class Tracer:
         if kind is None:
             return sum(self.counts.values())
         return self.counts[kind]
+
+    def clear(self) -> None:
+        """Drop retained records (counts are kept)."""
+        self._records.clear()
+
+
+class TransportTracer:
+    """Structured trace of Phase-1 request lifecycle events.
+
+    Parameters
+    ----------
+    info:
+        The :class:`~repro.protocol.transport.InfoExchange` to observe.
+    capacity:
+        If given, only the most recent ``capacity`` records are kept
+        (a bounded ring); per-stage counts are always exact.
+    """
+
+    #: Every stage the exchange can report, in lifecycle order.
+    STAGES = ("sent", "retried", "dropped", "timed_out", "satisfied", "failed")
+
+    def __init__(self, info, capacity: Optional[int] = None) -> None:
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+        info.add_trace_listener(self._record)
+
+    def _record(self, stage: str, now: float, data: Mapping[str, object]) -> None:
+        self.counts[stage] += 1
+        self._records.append((now, stage, dict(data)))
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        """All retained records, oldest first."""
+        return tuple(self._records)
+
+    def of_stage(self, stage: str) -> Tuple[TraceRecord, ...]:
+        """Retained records filtered to one lifecycle stage."""
+        return tuple(r for r in self._records if r[1] == stage)
+
+    def total(self, stage: Optional[str] = None) -> int:
+        """Exact count of recorded stages (of one stage, or overall)."""
+        if stage is None:
+            return sum(self.counts.values())
+        return self.counts[stage]
 
     def clear(self) -> None:
         """Drop retained records (counts are kept)."""

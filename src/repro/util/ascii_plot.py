@@ -63,7 +63,8 @@ def ascii_plot(
     for idx, (name, (t, v)) in enumerate(prepared.items()):
         mark = _MARKERS[idx % len(_MARKERS)]
         cols = np.clip(((t - tmin) / (tmax - tmin) * (width - 1)).round(), 0, width - 1)
-        rows = np.clip(((v - vmin) / (vmax - vmin) * (height - 1)).round(), 0, height - 1)
+        scaled = ((v - vmin) / (vmax - vmin) * (height - 1)).round()
+        rows = np.clip(scaled, 0, height - 1)
         for c, r in zip(cols.astype(int), rows.astype(int)):
             rr = height - 1 - r
             if grid[rr][c] == " ":

@@ -18,7 +18,10 @@ def _fmt(cell: object) -> str:
 
 
 def render_table(
-    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
 ) -> str:
     """Render rows under headers with column-aligned padding.
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.churn.arrivals import poisson_arrival_times, warmup_join_times

@@ -57,7 +57,10 @@ class TestComposite:
         model = CapacityModel({"a": 2.0, "b": 1.0})
         dist = CompositeCapacityDistribution(
             model,
-            {"a": UniformDistribution(0.0 + 1e-9, 10.0), "b": UniformDistribution(5.0, 15.0)},
+            {
+                "a": UniformDistribution(0.0 + 1e-9, 10.0),
+                "b": UniformDistribution(5.0, 15.0),
+            },
         )
         samples = dist.sample(rng, 50_000)
         assert samples.mean() == pytest.approx(dist.mean, rel=0.05)

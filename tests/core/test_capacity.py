@@ -35,7 +35,10 @@ class TestCombineMany:
         model = CapacityModel({"a": 2.0, "b": 3.0})
         cols = {"a": np.array([1.0, 2.0]), "b": np.array([10.0, 20.0])}
         out = model.combine_many(cols)
-        expected = [model.combine({"a": 1.0, "b": 10.0}), model.combine({"a": 2.0, "b": 20.0})]
+        expected = [
+            model.combine({"a": 1.0, "b": 10.0}),
+            model.combine({"a": 2.0, "b": 20.0}),
+        ]
         np.testing.assert_allclose(out, expected)
 
     def test_ragged_columns_rejected(self):

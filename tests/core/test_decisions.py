@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.comparison import ComparisonResult
 from repro.core.decisions import Action, decide

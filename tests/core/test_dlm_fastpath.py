@@ -25,7 +25,7 @@ def reference_super_decision(policy, peer, now):
     """The un-fused computation, straight from the paper's pseudo-code."""
     mu = policy.estimator.mu_for_super(peer)
     params = policy.scaler.adapt(mu)
-    view = super_related_set(policy.ctx.overlay, peer, now)
+    view = super_related_set(policy.ctx.knowledge, peer, now)
     if len(view) < policy.config.min_related_set:
         return None
     y = compare_against(view, peer.capacity, peer.age(now), params.x_capa, params.x_age)

@@ -49,7 +49,8 @@ class TestEquationB:
 
     def test_counts_sum_to_n(self):
         n, eta = 12_345, 17.5
-        assert expected_super_count(n, eta) + expected_leaf_count(n, eta) == pytest.approx(n)
+        total = expected_super_count(n, eta) + expected_leaf_count(n, eta)
+        assert total == pytest.approx(n)
 
     def test_invalid(self):
         with pytest.raises(ValueError):

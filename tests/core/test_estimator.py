@@ -11,6 +11,7 @@ from repro.core.estimator import RatioEstimator
 from repro.core.related_set import RelatedSetView, leaf_related_set
 from repro.overlay.roles import Role
 from repro.overlay.topology import Overlay
+from repro.protocol.knowledge import OmniscientKnowledge
 from tests.conftest import make_peer
 
 
@@ -56,6 +57,18 @@ class TestLeafMu:
         view = RelatedSetView(members=(), capacities=(), ages=())
         assert estimator.mu_for_leaf(view) is None
 
+    def test_none_without_lnn_observations(self, estimator):
+        """Members observed but no l_nn delivered: µ must not be
+        fabricated from a floored zero mean."""
+        view = RelatedSetView(
+            members=(1, 2),
+            capacities=(1.0, 1.0),
+            ages=(1.0, 1.0),
+            leaf_counts=(),
+            missing=0,
+        )
+        assert estimator.mu_for_leaf(view) is None
+
     def test_sign_matches_global_imbalance(self, estimator):
         crowded = RelatedSetView((1,), (1.0,), (1.0,), (160,))
         sparse = RelatedSetView((1,), (1.0,), (1.0,), (20,))
@@ -71,6 +84,7 @@ class TestRoleDispatch:
         ov.add_peer(sup)
         ov.add_peer(leaf)
         ov.connect(1, 0)
-        view = leaf_related_set(ov, leaf, now=1.0)
-        assert estimator.mu_for(ov, leaf, view) == estimator.mu_for_leaf(view)
-        assert estimator.mu_for(ov, sup, view) == estimator.mu_for_super(sup)
+        know = OmniscientKnowledge(ov)
+        view = leaf_related_set(know, leaf, now=1.0)
+        assert estimator.mu_for(leaf, view) == estimator.mu_for_leaf(view)
+        assert estimator.mu_for(sup, view) == estimator.mu_for_super(sup)

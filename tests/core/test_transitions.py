@@ -58,7 +58,10 @@ class TestDemote:
         ctx, leaves = populated
         ex = TransitionExecutor(ctx)
         # find a super with leaves
-        sid = max(ctx.overlay.super_ids, key=lambda s: len(ctx.overlay.peer(s).leaf_neighbors))
+        sid = max(
+            ctx.overlay.super_ids,
+            key=lambda s: len(ctx.overlay.peer(s).leaf_neighbors),
+        )
         n_leaves = len(ctx.overlay.peer(sid).leaf_neighbors)
         assert n_leaves > 0
         assert ex.demote(sid)

@@ -1,0 +1,41 @@
+"""Golden bit-identity of the Phase-1 message-driven refactor.
+
+With ``faults=None`` the knowledge plane is omniscient and every run
+must reproduce the pre-refactor sample path *bit for bit* per seed.
+The fingerprints here were captured at the last pre-refactor commit
+(``tests/experiments/golden_phase1.json``); any numeric drift anywhere
+in join/evaluate/transition order shows up as a digest mismatch.
+
+If a change is *intended* to alter default-config sample paths,
+regenerate with ``PYTHONPATH=src:. python tests/experiments/golden_phase1.py``
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.experiments.golden_phase1 import (
+    GOLDEN_PATH,
+    figure4_fingerprint,
+    replication_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenPhase1:
+    def test_figure4_bit_identical(self, golden):
+        fresh = figure4_fingerprint()
+        # Compare the digest first: it is the strongest claim and the
+        # most useful failure message (everything else localizes after).
+        assert fresh["series_digest"] == golden["figure4"]["series_digest"]
+        assert fresh == golden["figure4"]
+
+    def test_replication_bit_identical(self, golden):
+        assert replication_fingerprint() == golden["replication"]

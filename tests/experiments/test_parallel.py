@@ -126,6 +126,22 @@ class TestReplicateParity:
         for name in serial.metrics:
             assert serial.metrics[name] == fanned.metrics[name], name
 
+    def test_parity_holds_under_faults(self):
+        """The determinism contract extends to the message-driven engine:
+        a loss=5% run fans out bit-identically because the transport RNG
+        streams derive from (seed, name) alone."""
+        from repro.protocol.faults import FaultPlan
+
+        cfg = _tiny_config().with_(
+            faults=FaultPlan(loss_rate=0.05, latency_scale=1.0)
+        )
+        seeds = (1, 2, 3)
+        serial = replicate(run_figure6, seeds=seeds, config=cfg, n_workers=1)
+        fanned = replicate(run_figure6, seeds=seeds, config=cfg, n_workers=2)
+        assert serial.metrics.keys() == fanned.metrics.keys()
+        for name in serial.metrics:
+            assert serial.metrics[name] == fanned.metrics[name], name
+
     def test_lambda_run_fn_still_works(self):
         """An unpicklable run_fn transparently uses the serial path."""
         cfg = _tiny_config()

@@ -19,6 +19,7 @@ class TestRegistry:
             "figure6",
             "figure7",
             "figure8",
+            "figure_faults",
             "table3",
         }
 

@@ -19,7 +19,6 @@ from repro.churn.distributions import BandwidthMixture, LogNormalDistribution
 from repro.churn.lifecycle import ChurnDriver
 from repro.context import build_context
 from repro.core import DLMConfig, DLMPolicy
-from repro.overlay.roles import Role
 from repro.sim.processes import PeriodicProcess
 
 

@@ -44,7 +44,10 @@ def test_pareto_respects_minimum(alpha, xmin):
     assert d.base_mean >= xmin
 
 
-@given(st.floats(min_value=0.2, max_value=5.0), st.floats(min_value=0.1, max_value=100.0))
+@given(
+    st.floats(min_value=0.2, max_value=5.0),
+    st.floats(min_value=0.1, max_value=100.0),
+)
 @settings(max_examples=40)
 def test_weibull_mean_formula(k, lam):
     d = WeibullDistribution(k=k, lam=lam)

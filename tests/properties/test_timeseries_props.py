@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.metrics.summary import oscillation_amplitude, summarize, time_to_converge
@@ -39,14 +39,24 @@ def test_window_subsets_full_range(vals):
     assert half.size <= full.size
 
 
-@given(st.lists(st.floats(min_value=0.1, max_value=1e4, allow_nan=False), min_size=2, max_size=60))
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    )
+)
 def test_oscillation_amplitude_nonnegative(vals):
     s = build(vals)
     assert oscillation_amplitude(s) >= 0.0
 
 
 @given(
-    st.lists(st.floats(min_value=1.0, max_value=100.0, allow_nan=False), min_size=1, max_size=60),
+    st.lists(
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
     st.floats(min_value=1.0, max_value=100.0),
 )
 def test_time_to_converge_consistency(vals, target):

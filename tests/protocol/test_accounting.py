@@ -43,7 +43,8 @@ class TestAggregates:
         ledger.record(QueryMessage, 5)
         assert ledger.dlm_messages == 20
         assert ledger.search_messages == 5
-        assert ledger.dlm_bytes == 10 * NeighNumRequest.size_bytes() + 10 * ValueResponse.size_bytes()
+        expected = 10 * NeighNumRequest.size_bytes() + 10 * ValueResponse.size_bytes()
+        assert ledger.dlm_bytes == expected
 
     def test_overhead_fraction(self):
         ledger = MessageLedger()

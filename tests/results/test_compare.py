@@ -9,7 +9,10 @@ from repro.results.compare import compare_runs
 
 def doc(ratio_tail=40.0, extra_series=None, joins=100):
     series = {
-        "ratio": {"times": [0, 1, 2, 3], "values": [80.0, 60.0, ratio_tail, ratio_tail]},
+        "ratio": {
+            "times": [0, 1, 2, 3],
+            "values": [80.0, 60.0, ratio_tail, ratio_tail],
+        },
         "n_super": {"times": [0, 1, 2, 3], "values": [1, 10, 20, 20]},
     }
     if extra_series:

@@ -7,7 +7,6 @@ import itertools
 import pytest
 
 from repro.sim.processes import PeriodicProcess, RenewalProcess
-from repro.sim.scheduler import Simulator
 
 
 class TestPeriodicProcess:

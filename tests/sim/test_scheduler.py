@@ -34,7 +34,10 @@ class TestScheduling:
         fired = []
         collect(sim, "x", fired)
         sim.schedule(1.0, "x", {"tag": "outer"})
-        sim.on("x", lambda s, ev: s.schedule(0.0, "y") if ev.payload.get("tag") else None)
+        sim.on(
+            "x",
+            lambda s, ev: s.schedule(0.0, "y") if ev.payload.get("tag") else None,
+        )
         sim.run()
         assert fired
 

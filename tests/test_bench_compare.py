@@ -1,0 +1,68 @@
+"""Unit tests for the benchmark regression gate (benchmarks/record.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_RECORD = Path(__file__).resolve().parent.parent / "benchmarks" / "record.py"
+
+
+@pytest.fixture(scope="module")
+def record_mod():
+    spec = importlib.util.spec_from_file_location("bench_record", _RECORD)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _rec(events, queries, quick=True):
+    return {
+        "quick": quick,
+        "scheduler": {"events_per_sec": events},
+        "flooding": {"queries_per_sec": queries},
+    }
+
+
+class TestCompareRecords:
+    def test_passes_within_threshold(self, record_mod):
+        failures, _ = record_mod.compare_records(
+            _rec(100_000, 1_000), _rec(90_000, 950), 0.15
+        )
+        assert failures == []
+
+    def test_fails_on_throughput_regression(self, record_mod):
+        failures, _ = record_mod.compare_records(
+            _rec(100_000, 1_000), _rec(80_000, 1_000), 0.15
+        )
+        assert len(failures) == 1
+        assert "scheduler.events_per_sec" in failures[0]
+
+    def test_improvement_is_silent(self, record_mod):
+        failures, warnings = record_mod.compare_records(
+            _rec(100_000, 1_000), _rec(150_000, 2_000), 0.15
+        )
+        assert failures == [] and warnings == []
+
+    def test_small_drop_warns_but_passes(self, record_mod):
+        failures, warnings = record_mod.compare_records(
+            _rec(100_000, 1_000), _rec(95_000, 1_000), 0.15
+        )
+        assert failures == []
+        assert any("scheduler" in w for w in warnings)
+
+    def test_quick_mismatch_skips_gate(self, record_mod):
+        failures, warnings = record_mod.compare_records(
+            _rec(100_000, 1_000, quick=False), _rec(10, 10, quick=True), 0.15
+        )
+        assert failures == []
+        assert any("not comparable" in w for w in warnings)
+
+    def test_missing_metric_warns_not_fails(self, record_mod):
+        prev = _rec(100_000, 1_000)
+        new = {"quick": True, "scheduler": {"events_per_sec": 100_000}}
+        failures, warnings = record_mod.compare_records(prev, new, 0.15)
+        assert failures == []
+        assert any("flooding" in w and "skipped" in w for w in warnings)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.context import build_context
 from repro.sim.scheduler import Simulator
