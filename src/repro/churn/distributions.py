@@ -237,12 +237,23 @@ class BandwidthMixture(ScalableDistribution):
             raise ValueError("class centers must be positive")
         if np.any((self.jitters < 0) | (self.jitters >= 1)):
             raise ValueError("jitter must be in [0, 1)")
+        # Precomputed class CDF: ``rng.choice(k, p=...)`` re-validates and
+        # re-cumsums the weights on every call (~50us), which dominates
+        # per-join capacity sampling.  Generator.choice with ``p`` is
+        # defined as searchsorted over this exact cdf against
+        # ``rng.random(n)``, so the fast path below is bit-identical --
+        # same values, same stream position (locked by the golden tests).
+        cdf = self.weights.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
 
     def _sample_base(self, rng: np.random.Generator, n: int) -> np.ndarray:
-        cls = rng.choice(len(self.weights), size=n, p=self.weights)
+        cls = self._cdf.searchsorted(rng.random(n), side="right")
         centers = self.centers[cls]
         jit = self.jitters[cls]
-        return centers * rng.uniform(1.0 - jit, 1.0 + jit, size=n)
+        # == rng.uniform(centers*(1-jit), centers*(1+jit)) bit for bit.
+        low = 1.0 - jit
+        return centers * (low + rng.random(n) * ((1.0 + jit) - low))
 
     @property
     def base_mean(self) -> float:

@@ -48,7 +48,7 @@ class Shift:
             raise ValueError(f"time must be >= 0, got {self.time}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Scenario:
     """An ordered script of mean shifts."""
 

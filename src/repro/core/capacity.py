@@ -17,7 +17,7 @@ import numpy as np
 __all__ = ["CapacityModel", "bandwidth_only_model"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapacityModel:
     """A fixed set of metric names with weights.
 

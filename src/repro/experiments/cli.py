@@ -13,7 +13,7 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from .configs import bench_config, table2_config
+from .configs import bench_config, largescale_config, table2_config
 from .parallel import WORKERS_ENV
 from .registry import all_ids, get_experiment
 from .table3 import PAPER_SIZES, run_table3
@@ -36,10 +36,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id, 'list' to enumerate, or 'report' to "
         "regenerate EXPERIMENTS.md content on stdout",
     )
-    parser.add_argument(
+    scale_group = parser.add_mutually_exclusive_group()
+    scale_group.add_argument(
         "--full",
         action="store_true",
         help="run at the paper's Table-2 scale (n=50000; minutes, not seconds)",
+    )
+    scale_group.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the large-scale preset (n=100000, shortened churned "
+        "horizon; exercises the O(1) aggregate sampling path)",
     )
     parser.add_argument("--n", type=int, default=None, help="override network size")
     parser.add_argument(
@@ -96,7 +103,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{exp_id:10s} {exp.paper_artifact:9s} {exp.description}")
         return 0
 
-    cfg = table2_config() if args.full else bench_config()
+    if args.full:
+        cfg = table2_config()
+    elif args.scale:
+        cfg = largescale_config()
+    else:
+        cfg = bench_config()
     if args.experiment == "report":
         from .report import generate_experiments_report
 

@@ -1,15 +1,22 @@
 """Per-layer statistics sampling (the data behind Figures 4-8).
 
-A :class:`LayerStatsSampler` walks the overlay every ``interval`` time
-units and records, per layer: size, mean age, mean capacity -- plus the
-layer-size ratio and the super-layer's mean leaf-neighbor count (the
-quantity DLM's µ estimator observes).  Series names are stable strings so
-the figure harnesses can pull them out by name.
+A :class:`LayerStatsSampler` records, every ``interval`` time units and
+per layer: size, mean age, mean capacity -- plus the layer-size ratio
+and the super-layer's mean leaf-neighbor count (the quantity DLM's µ
+estimator observes).  Series names are stable strings so the figure
+harnesses can pull them out by name.
+
+Sampling is O(1) per tick: all values are constant-time reads of the
+overlay's incremental :class:`~repro.overlay.aggregates.OverlayAggregates`
+plane, not a walk over ``overlay.peers()``.  The retired full scan
+survives as :func:`scan_layer_stats`, the reference implementation the
+equivalence tests (and the aggregate-plane invariant check) compare
+against.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..overlay.topology import Overlay
 from ..sim.events import EventKind
@@ -17,7 +24,7 @@ from ..sim.processes import PeriodicProcess
 from ..sim.scheduler import Simulator
 from .timeseries import SeriesBundle
 
-__all__ = ["LayerStatsSampler", "SERIES_NAMES"]
+__all__ = ["LayerStatsSampler", "SERIES_NAMES", "scan_layer_stats"]
 
 #: All series a sampler produces.
 SERIES_NAMES = (
@@ -33,8 +40,44 @@ SERIES_NAMES = (
 )
 
 
+def scan_layer_stats(overlay: Overlay, now: float) -> Dict[str, float]:
+    """The reference full scan: one pass over every peer (O(n)).
+
+    Kept for equivalence tests against the O(1) aggregate reads; the
+    sampler itself never calls this.
+    """
+    sup_age = sup_cap = sup_lnn = 0.0
+    leaf_age = leaf_cap = 0.0
+    n_sup = 0
+    n_leaf = 0
+    for peer in overlay.peers():
+        age = now - peer.join_time
+        if peer.is_super:
+            n_sup += 1
+            sup_age += age
+            sup_cap += peer.capacity
+            sup_lnn += len(peer.leaf_neighbors)
+        else:
+            n_leaf += 1
+            leaf_age += age
+            leaf_cap += peer.capacity
+    return {
+        "n": n_sup + n_leaf,
+        "n_super": n_sup,
+        "n_leaf": n_leaf,
+        "ratio": n_leaf / n_sup if n_sup else float("inf"),
+        "super_mean_age": sup_age / n_sup if n_sup else 0.0,
+        "leaf_mean_age": leaf_age / n_leaf if n_leaf else 0.0,
+        "super_mean_capacity": sup_cap / n_sup if n_sup else 0.0,
+        "leaf_mean_capacity": leaf_cap / n_leaf if n_leaf else 0.0,
+        "super_mean_lnn": sup_lnn / n_sup if n_sup else 0.0,
+    }
+
+
 class LayerStatsSampler:
-    """Periodic whole-overlay statistics sampler."""
+    """Periodic layer-statistics sampler (O(1) per sample)."""
+
+    __slots__ = ("overlay", "bundle", "_process")
 
     def __init__(
         self,
@@ -57,29 +100,18 @@ class LayerStatsSampler:
 
     def sample(self, sim: Simulator, now: float) -> None:
         """Take one sample at ``now`` (also callable directly in tests)."""
-        ov = self.overlay
+        agg = self.overlay.aggregates
+        sup = agg.super_layer
+        leaf = agg.leaf_layer
+        n_sup = sup.count
+        n_leaf = leaf.count
         b = self.bundle
-        sup_age = sup_cap = sup_lnn = 0.0
-        leaf_age = leaf_cap = 0.0
-        n_sup = 0
-        n_leaf = 0
-        for peer in ov.peers():
-            age = now - peer.join_time
-            if peer.is_super:
-                n_sup += 1
-                sup_age += age
-                sup_cap += peer.capacity
-                sup_lnn += len(peer.leaf_neighbors)
-            else:
-                n_leaf += 1
-                leaf_age += age
-                leaf_cap += peer.capacity
         b.record("n", now, n_sup + n_leaf)
         b.record("n_super", now, n_sup)
         b.record("n_leaf", now, n_leaf)
         b.record("ratio", now, n_leaf / n_sup if n_sup else float("inf"))
-        b.record("super_mean_age", now, sup_age / n_sup if n_sup else 0.0)
-        b.record("leaf_mean_age", now, leaf_age / n_leaf if n_leaf else 0.0)
-        b.record("super_mean_capacity", now, sup_cap / n_sup if n_sup else 0.0)
-        b.record("leaf_mean_capacity", now, leaf_cap / n_leaf if n_leaf else 0.0)
-        b.record("super_mean_lnn", now, sup_lnn / n_sup if n_sup else 0.0)
+        b.record("super_mean_age", now, sup.mean_age(now))
+        b.record("leaf_mean_age", now, leaf.mean_age(now))
+        b.record("super_mean_capacity", now, sup.mean_capacity())
+        b.record("leaf_mean_capacity", now, leaf.mean_capacity())
+        b.record("super_mean_lnn", now, agg.super_mean_lnn())

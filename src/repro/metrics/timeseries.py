@@ -2,11 +2,21 @@
 
 Experiments record sampled series (layer sizes, mean ages, ...) as
 append-only ``(time, value)`` sequences with NumPy views for analysis.
+
+Storage is a pair of ``array('d')`` buffers -- 8 bytes per sample,
+appended unboxed -- instead of Python lists of float objects (~32 bytes
+per point and one allocation each).  At the 100k-peer scale a run
+records hundreds of thousands of samples; the flat buffers keep that
+footprint flat and make the NumPy reads a straight ``frombuffer`` copy.
+The read properties return *copies*: a live ``frombuffer`` view would
+pin the buffer's PEP-3118 export and turn the next ``append`` into a
+``BufferError``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from array import array
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
@@ -16,19 +26,22 @@ __all__ = ["TimeSeries", "SeriesBundle"]
 class TimeSeries:
     """Append-only sampled series with vectorized reads."""
 
+    __slots__ = ("name", "_times", "_values")
+
     def __init__(self, name: str) -> None:
         self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._times = array("d")
+        self._values = array("d")
 
     def append(self, t: float, value: float) -> None:
         """Record one sample; times must be non-decreasing."""
-        if self._times and t < self._times[-1]:
+        times = self._times
+        if times and t < times[-1]:
             raise ValueError(
-                f"non-monotone sample time {t} after {self._times[-1]} in {self.name!r}"
+                f"non-monotone sample time {t} after {times[-1]} in {self.name!r}"
             )
-        self._times.append(float(t))
-        self._values.append(float(value))
+        times.append(t)
+        self._values.append(value)
 
     def __len__(self) -> int:
         return len(self._times)
@@ -38,13 +51,13 @@ class TimeSeries:
 
     @property
     def times(self) -> np.ndarray:
-        """Sample times as an array."""
-        return np.asarray(self._times)
+        """Sample times as an array (a copy; safe to hold across appends)."""
+        return np.frombuffer(self._times, dtype=np.float64).copy()
 
     @property
     def values(self) -> np.ndarray:
-        """Sample values as an array."""
-        return np.asarray(self._values)
+        """Sample values as an array (a copy; safe to hold across appends)."""
+        return np.frombuffer(self._values, dtype=np.float64).copy()
 
     def last(self) -> Tuple[float, float]:
         """Most recent sample; raises ``IndexError`` when empty."""
@@ -70,6 +83,8 @@ class TimeSeries:
 
 class SeriesBundle:
     """A named collection of series recorded by one run."""
+
+    __slots__ = ("_series",)
 
     def __init__(self) -> None:
         self._series: Dict[str, TimeSeries] = {}

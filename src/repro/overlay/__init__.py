@@ -4,6 +4,7 @@ Peers, roles, the layered adjacency with its structural invariants,
 join/bootstrap procedures, degree maintenance, and networkx export.
 """
 
+from .aggregates import LayerAggregate, OverlayAggregates
 from .bootstrap import JoinProcedure
 from .graph_export import backbone_graph, to_networkx
 from .knowledge import NeighborKnowledge, Observation
@@ -13,6 +14,8 @@ from .roles import Role
 from .topology import ConnectionListener, Overlay, OverlayError
 
 __all__ = [
+    "LayerAggregate",
+    "OverlayAggregates",
     "JoinProcedure",
     "backbone_graph",
     "to_networkx",

@@ -1,0 +1,254 @@
+"""O(1) incremental per-layer aggregates (the data behind Figures 4-8).
+
+Every layer-level statistic the figure harnesses and the DLM-side
+consumers read -- layer sizes, the size ratio, mean age, mean capacity,
+the super-layer's mean leaf-neighbor count -- reduces to a handful of
+per-layer counters:
+
+* ``count`` -- layer population;
+* ``Σ capacity`` -- capacities are session-constant, so the sum only
+  changes on membership and role events;
+* ``Σ join_time`` -- likewise constant per peer; the layer's mean age at
+  ``now`` is ``now - Σ join_time / count``;
+* the number of leaf--super links -- identically ``Σ |leaf_neighbors|``
+  over super-peers, so the super-layer's mean leaf-neighbor count is
+  ``links / n_super``.
+
+:class:`OverlayAggregates` maintains these via the overlay's existing
+listener hooks (membership, role, link -- see
+:class:`~repro.overlay.topology.Overlay`), turning every
+``LayerStatsSampler.sample()`` from an O(n) full scan into an O(1) read.
+
+Float-drift policy (exact fixed-point Σ counters)
+-------------------------------------------------
+
+A float accumulator that adds on join and subtracts on leave drifts:
+``(a + b) - b != a`` in general, so after enough churn the incremental
+sum diverges from a fresh scan and no equivalence test can be exact.
+Instead the Σ counters store *exact* integers: every finite float is an
+integer multiple of 2**-1074 (the subnormal quantum), so
+``capacity_sum`` and ``join_time_sum`` hold ``Σ round_exact(x · 2**1074)``
+as Python big ints.  Addition and subtraction are exact and
+order-independent, which makes the counters *permanently* equal to a
+brute-force scan (the Hypothesis property test asserts exact equality
+after arbitrary operation sequences), and the derived means are
+correctly rounded.  The cost is one ``float.as_integer_ratio`` plus one
+~1100-bit integer add per membership/role event -- a few hundred
+nanoseconds, paid only a handful of times per peer lifetime, never on
+the per-sample path.
+
+The derived means can differ from the retired per-sample float loop by
+up to ~n ulps (the loop's own accumulated rounding); the golden test
+``tests/experiments/test_golden_layerstats.py`` pins integer-valued
+series bit-for-bit and mean-valued series to 1e-9 relative tolerance
+against the pre-change scan output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .peer import Peer
+from .roles import Role
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology imports us)
+    from .topology import Overlay
+
+__all__ = ["LayerAggregate", "OverlayAggregates"]
+
+#: Exponent of the fixed-point scale: every finite float is an exact
+#: integer multiple of 2**-1074, so scaling by 2**1074 loses nothing.
+_FRACTION_BITS = 1074
+
+
+def _fixed(x: float) -> int:
+    """``x`` as an exact integer in units of 2**-1074."""
+    p, q = x.as_integer_ratio()  # q is a power of two for finite floats
+    return p << (_FRACTION_BITS - q.bit_length() + 1)
+
+
+class LayerAggregate:
+    """Incremental counters of one layer (see module docstring)."""
+
+    __slots__ = ("count", "capacity_sum", "join_time_sum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        #: Σ capacity in units of 2**-1074 (exact).
+        self.capacity_sum = 0
+        #: Σ join_time in units of 2**-1074 (exact).
+        self.join_time_sum = 0
+
+    def add(self, peer: Peer) -> None:
+        """Count ``peer`` into this layer."""
+        self.count += 1
+        self.capacity_sum += _fixed(peer.capacity)
+        self.join_time_sum += _fixed(peer.join_time)
+
+    def remove(self, peer: Peer) -> None:
+        """Remove ``peer`` from this layer (exact inverse of :meth:`add`)."""
+        self.count -= 1
+        self.capacity_sum -= _fixed(peer.capacity)
+        self.join_time_sum -= _fixed(peer.join_time)
+
+    def mean_capacity(self) -> float:
+        """Layer mean capacity, correctly rounded; 0.0 when empty."""
+        if not self.count:
+            return 0.0
+        return self.capacity_sum / (self.count << _FRACTION_BITS)
+
+    def mean_age(self, now: float) -> float:
+        """Layer mean age at ``now``; 0.0 when empty."""
+        if not self.count:
+            return 0.0
+        return now - self.join_time_sum / (self.count << _FRACTION_BITS)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LayerAggregate):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.capacity_sum == other.capacity_sum
+            and self.join_time_sum == other.join_time_sum
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LayerAggregate(count={self.count}, "
+            f"mean_capacity={self.mean_capacity():.2f})"
+        )
+
+
+class OverlayAggregates:
+    """The O(1) aggregate plane of one overlay.
+
+    Counter maintenance, by listener:
+
+    * **membership** -- join adds the peer to its layer's aggregate,
+      leave removes it (the leave notification fires after the peer's
+      links have dropped, so the link counter is already settled);
+    * **role** -- moves the peer's count/Σcapacity/Σjoin_time between
+      layers.  The hook fires *after* the overlay re-files the peer's
+      links, so ``peer.super_neighbors`` is the re-filed set: a
+      promotion's retained links stop being leaf--super
+      (``leaf_link_count -= |super_neighbors|``), a demotion's kept
+      links become leaf--super (``+= |super_neighbors|``);
+    * **link** -- fires with both endpoints registered under their
+      at-event-time roles, so a mixed-role pair identifies a leaf--super
+      link: created ``+= 1``, dropped ``-= 1``.  (Demotion's leaf-link
+      drops arrive here while the peer is still a super-peer; the
+      re-filings that fire no link event are exactly the role hook's
+      job.)
+    """
+
+    __slots__ = ("_overlay", "super_layer", "leaf_layer", "leaf_link_count")
+
+    def __init__(self, overlay: "Overlay") -> None:
+        self._overlay = overlay
+        self.super_layer = LayerAggregate()
+        self.leaf_layer = LayerAggregate()
+        #: Number of leaf--super links == Σ |leaf_neighbors| over supers.
+        self.leaf_link_count = 0
+        overlay.add_membership_listener(self._on_membership)
+        overlay.add_role_listener(self._on_role)
+        overlay.add_link_listener(self._on_link)
+
+    # -- reads ---------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total population."""
+        return self.super_layer.count + self.leaf_layer.count
+
+    def ratio(self) -> float:
+        """η = n_leaf / n_super; ``inf`` with no super-peers."""
+        n_super = self.super_layer.count
+        if not n_super:
+            return float("inf")
+        return self.leaf_layer.count / n_super
+
+    def super_mean_lnn(self) -> float:
+        """Super-layer mean leaf-neighbor count; 0.0 with no supers."""
+        n_super = self.super_layer.count
+        if not n_super:
+            return 0.0
+        return self.leaf_link_count / n_super
+
+    def layer(self, role: Role) -> LayerAggregate:
+        """The aggregate of ``role``'s layer."""
+        return self.super_layer if role is Role.SUPER else self.leaf_layer
+
+    # -- listener hooks ------------------------------------------------------
+    def _on_membership(self, peer: Peer, joined: bool) -> None:
+        agg = self.super_layer if peer.is_super else self.leaf_layer
+        if joined:
+            agg.add(peer)
+        else:
+            agg.remove(peer)
+
+    def _on_role(self, peer: Peer, old_role: Role) -> None:
+        if old_role is Role.SUPER:
+            self.super_layer.remove(peer)
+            self.leaf_layer.add(peer)
+            # Demotion: the kept super links were re-filed to leaf--super.
+            self.leaf_link_count += len(peer.super_neighbors)
+        else:
+            self.leaf_layer.remove(peer)
+            self.super_layer.add(peer)
+            # Promotion: the retained links stopped being leaf--super.
+            self.leaf_link_count -= len(peer.super_neighbors)
+
+    def _on_link(self, a: int, b: int, created: bool) -> None:
+        get = self._overlay.get
+        if get(a).is_leaf != get(b).is_leaf:
+            self.leaf_link_count += 1 if created else -1
+
+    # -- verification --------------------------------------------------------
+    def scan(self) -> "OverlayAggregates":
+        """A fresh aggregate built by brute-force scan (O(n); tests only).
+
+        The scan sums through the same exact fixed-point representation,
+        so an incrementally maintained plane must compare *exactly*
+        equal -- any mismatch is a maintenance bug, never float drift.
+        """
+        fresh = object.__new__(OverlayAggregates)
+        fresh._overlay = self._overlay
+        fresh.super_layer = LayerAggregate()
+        fresh.leaf_layer = LayerAggregate()
+        fresh.leaf_link_count = 0
+        for peer in self._overlay.peers():
+            if peer.is_super:
+                fresh.super_layer.add(peer)
+                fresh.leaf_link_count += len(peer.leaf_neighbors)
+            else:
+                fresh.leaf_layer.add(peer)
+        return fresh
+
+    def mismatches(self) -> List[str]:
+        """Differences against a brute-force scan (empty == consistent)."""
+        fresh = self.scan()
+        out: List[str] = []
+        for label, mine, true in (
+            ("super", self.super_layer, fresh.super_layer),
+            ("leaf", self.leaf_layer, fresh.leaf_layer),
+        ):
+            if mine.count != true.count:
+                out.append(f"{label}.count {mine.count} != scan {true.count}")
+            scale = 1 << _FRACTION_BITS
+            if mine.capacity_sum != true.capacity_sum:
+                diff = (mine.capacity_sum - true.capacity_sum) / scale
+                out.append(f"{label}.capacity_sum off by {diff}")
+            if mine.join_time_sum != true.join_time_sum:
+                diff = (mine.join_time_sum - true.join_time_sum) / scale
+                out.append(f"{label}.join_time_sum off by {diff}")
+        if self.leaf_link_count != fresh.leaf_link_count:
+            out.append(
+                f"leaf_link_count {self.leaf_link_count} != scan "
+                f"{fresh.leaf_link_count}"
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OverlayAggregates(supers={self.super_layer.count}, "
+            f"leaves={self.leaf_layer.count}, links={self.leaf_link_count})"
+        )

@@ -35,11 +35,13 @@ this):
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..util.indexed_set import IndexedSet
+from .aggregates import OverlayAggregates
 from .peer import Peer
 from .roles import Role
 
@@ -50,7 +52,14 @@ __all__ = [
     "LinkListener",
     "MembershipListener",
     "RoleListener",
+    "AGGREGATE_CHECKS",
 ]
+
+#: Debug flag (env ``REPRO_DEBUG_AGGREGATES``): when set,
+#: :meth:`Overlay.check_invariants` also verifies the O(1) aggregate
+#: counters against a brute-force scan by default.  The scan is O(n), so
+#: production runs leave it off; tests opt in per call.
+AGGREGATE_CHECKS = os.environ.get("REPRO_DEBUG_AGGREGATES", "") not in ("", "0")
 
 ConnectionListener = Callable[[int, int], None]
 LinkListener = Callable[[int, int, bool], None]
@@ -86,6 +95,10 @@ class Overlay:
         self.total_promotions = 0
         self.total_demotions = 0
         self.total_connections_created = 0
+        # The O(1) aggregate plane rides the listener hooks above; it
+        # must register first so derived state (samplers, DLM probes)
+        # reading it from a later listener sees post-event values.
+        self.aggregates = OverlayAggregates(self)
 
     # -- registry --------------------------------------------------------
     def __contains__(self, pid: int) -> bool:
@@ -357,11 +370,22 @@ class Overlay:
         return out
 
     # -- invariants -------------------------------------------------------------
-    def check_invariants(self) -> None:
+    def check_invariants(self, *, aggregates: Optional[bool] = None) -> None:
         """Verify the structural rules; raises :class:`OverlayError`.
 
-        Intended for tests and debugging -- O(edges).
+        Intended for tests and debugging -- O(edges).  With
+        ``aggregates=True`` (default: the module's
+        :data:`AGGREGATE_CHECKS` debug flag, off in production) the O(1)
+        aggregate counters are additionally verified against a
+        brute-force scan.
         """
+        if aggregates if aggregates is not None else AGGREGATE_CHECKS:
+            problems = self.aggregates.mismatches()
+            if problems:
+                raise OverlayError(
+                    "aggregate counters diverged from scan: "
+                    + "; ".join(problems)
+                )
         seen_supers = set(self.super_ids)
         seen_leaves = set(self.leaf_ids)
         if seen_supers & seen_leaves:

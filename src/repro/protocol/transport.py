@@ -89,7 +89,16 @@ _REQUEST_TYPES = {
 
 
 class _Pending:
-    """One logical request occupying a slot in the in-flight table."""
+    """One logical request occupying a slot in the in-flight table.
+
+    Instances are recycled through a free-list pool: churn-heavy runs
+    put millions of requests in flight, and reinitializing a pooled
+    record is cheaper than allocating a fresh object (and keeps the
+    allocator from thrashing at 100k-peer scale).  Recycling is safe
+    because the engine addresses requests by ``rid`` -- a retired rid is
+    never reused, so a late event for the old rid misses the in-flight
+    table instead of aliasing the recycled record.
+    """
 
     __slots__ = (
         "rid",
@@ -101,6 +110,10 @@ class _Pending:
     )
 
     def __init__(self, rid: int, requester: int, responder: int, kind: str) -> None:
+        self.reset(rid, requester, responder, kind)
+
+    def reset(self, rid: int, requester: int, responder: int, kind: str) -> None:
+        """(Re)initialize for a fresh logical request."""
         self.rid = rid
         self.requester = requester
         self.responder = responder
@@ -111,6 +124,11 @@ class _Pending:
     @property
     def key(self) -> Tuple[int, int, str]:
         return (self.requester, self.responder, self.kind)
+
+
+#: Upper bound on pooled ``_Pending`` records (memory backstop; the pool
+#: only ever holds what was simultaneously in flight).
+_PENDING_POOL_MAX = 4096
 
 
 class InfoExchange:
@@ -138,6 +156,7 @@ class InfoExchange:
             self._inflight: Dict[int, _Pending] = {}
             self._by_key: Dict[Tuple[int, int, str], _Pending] = {}
             self._outstanding: Dict[int, int] = {}
+            self._pool: List[_Pending] = []
             self._drop_rng = sim.rng.get("transport-drop")
             self._latency_rng = sim.rng.get("transport-latency")
             self._latency = (
@@ -305,7 +324,11 @@ class InfoExchange:
         key = (requester, responder, kind)
         if key in self._by_key:
             return False
-        pending = _Pending(next(self._rid), requester, responder, kind)
+        if self._pool:
+            pending = self._pool.pop()
+            pending.reset(next(self._rid), requester, responder, kind)
+        else:
+            pending = _Pending(next(self._rid), requester, responder, kind)
         self._by_key[key] = pending
         self._inflight[pending.rid] = pending
         self._outstanding[requester] = self._outstanding.get(requester, 0) + 1
@@ -429,6 +452,9 @@ class InfoExchange:
         del self._inflight[pending.rid]
         del self._by_key[pending.key]
         requester = pending.requester
+        pending.timeout_event = None  # drop the Event ref before pooling
+        if len(self._pool) < _PENDING_POOL_MAX:
+            self._pool.append(pending)
         remaining = self._outstanding[requester] - 1
         if remaining > 0:
             self._outstanding[requester] = remaining

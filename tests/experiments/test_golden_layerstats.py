@@ -1,0 +1,80 @@
+"""Golden test: the O(1) sampler reproduces the full-scan sampler.
+
+``golden_layerstats.json`` was captured at the last commit where
+:class:`~repro.metrics.layerstats.LayerStatsSampler` scanned every peer
+per sample.  Re-running the same seeded dynamic scenarios through the
+aggregate-plane sampler must reproduce:
+
+* the sample grid (times) of every series, bit for bit;
+* every count-valued series (:data:`.golden_layerstats.EXACT_SERIES`)
+  bit for bit -- these are integers and exact integer ratios, where any
+  deviation means the run's *trajectory* changed, not just its
+  arithmetic;
+* every mean-valued series (:data:`.golden_layerstats.MEAN_SERIES`) to
+  1e-9 relative tolerance -- the aggregate plane's exact fixed-point
+  sums produce *correctly rounded* means, while the retired per-sample
+  float loop accumulated up to ~n ulps, so ulp-scale differences are
+  the old scan's error, not ours.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from .golden_layerstats import (
+    EXACT_SERIES,
+    GOLDEN_PATH,
+    GOLDEN_SEEDS,
+    MEAN_SERIES,
+    run_series,
+)
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with "
+        "`PYTHONPATH=src:. python tests/experiments/golden_layerstats.py` "
+        "at a commit whose sampler output is the intended baseline"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module", params=[str(s) for s in GOLDEN_SEEDS])
+def seed_pair(request, golden):
+    """(golden run record, freshly computed run record) for one seed."""
+    return golden["runs"][request.param], run_series(int(request.param))
+
+
+class TestGoldenLayerstats:
+    def test_all_series_present(self, seed_pair):
+        want, got = seed_pair
+        assert set(got) >= set(EXACT_SERIES) | set(MEAN_SERIES)
+        assert set(got) == set(want)
+
+    def test_sample_grids_identical(self, seed_pair):
+        want, got = seed_pair
+        for name in want:
+            assert got[name]["times"] == want[name]["times"], name
+
+    def test_exact_series_bit_identical(self, seed_pair):
+        want, got = seed_pair
+        for name in EXACT_SERIES:
+            assert got[name]["values"] == want[name]["values"], (
+                f"{name}: trajectory changed -- the refactor altered which "
+                "events fire, not just how means are computed"
+            )
+
+    def test_mean_series_within_scan_rounding(self, seed_pair):
+        want, got = seed_pair
+        for name in MEAN_SERIES:
+            for i, (old, new) in enumerate(
+                zip(want[name]["values"], got[name]["values"])
+            ):
+                assert math.isclose(old, new, rel_tol=1e-9, abs_tol=1e-9), (
+                    f"{name}[{i}]: {old!r} -> {new!r} exceeds the old "
+                    "scan's own rounding envelope"
+                )

@@ -87,3 +87,36 @@ class TestSampling:
         sampler = LayerStatsSampler(sim, ov, interval=5.0, bundle=bundle)
         sim.run(until=5.0)
         assert "ratio" in bundle
+
+
+class TestConstantTimeSampling:
+    def test_sample_never_iterates_peers(self, system, monkeypatch):
+        """O(1) contract: a sample reads aggregates, not the population.
+
+        Any per-peer path would have to go through ``Overlay.peers`` (or
+        the layer registries' iterators); poisoning them proves the
+        sampler touches neither, independent of timing noise.
+        """
+        sim, ov = system
+
+        def boom(*a, **kw):
+            raise AssertionError("sample() iterated the peer population")
+
+        monkeypatch.setattr(type(ov), "peers", boom)
+        monkeypatch.setattr(type(ov.super_ids), "__iter__", boom)
+        sampler = LayerStatsSampler(sim, ov, interval=5.0)
+        sim.run(until=20.0)
+        assert len(sampler.bundle["n"]) == 4
+        assert sampler.bundle["super_mean_lnn"].last()[1] == 2.0
+
+    def test_matches_reference_scan(self, system):
+        from repro.metrics.layerstats import scan_layer_stats
+
+        sim, ov = system
+        sampler = LayerStatsSampler(sim, ov, interval=5.0)
+        sim.run(until=15.0)
+        reference = scan_layer_stats(ov, now=sim.now)
+        for name, value in reference.items():
+            assert sampler.bundle[name].last()[1] == pytest.approx(
+                value, rel=1e-12
+            ), name

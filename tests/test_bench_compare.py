@@ -18,11 +18,12 @@ def record_mod():
     return mod
 
 
-def _rec(events, queries, quick=True):
+def _rec(events, queries, quick=True, sim_events=20_000):
     return {
         "quick": quick,
         "scheduler": {"events_per_sec": events},
         "flooding": {"queries_per_sec": queries},
+        "largescale": {"events_per_sec": sim_events},
     }
 
 
@@ -66,3 +67,22 @@ class TestCompareRecords:
         failures, warnings = record_mod.compare_records(prev, new, 0.15)
         assert failures == []
         assert any("flooding" in w and "skipped" in w for w in warnings)
+
+    def test_largescale_throughput_is_gated(self, record_mod):
+        assert ("largescale", "events_per_sec") in record_mod.THROUGHPUT_METRICS
+        failures, _ = record_mod.compare_records(
+            _rec(100_000, 1_000, sim_events=20_000),
+            _rec(100_000, 1_000, sim_events=15_000),
+            0.15,
+        )
+        assert len(failures) == 1
+        assert "largescale.events_per_sec" in failures[0]
+
+
+class TestParallelSkip:
+    def test_single_worker_skips_with_annotation(self, record_mod, monkeypatch):
+        monkeypatch.setattr(record_mod, "resolve_workers", lambda: 1)
+        result = record_mod.bench_parallel(quick=True)
+        assert result["skipped"] is True
+        assert result["workers"] == 1
+        assert "spurious" in result["reason"]
