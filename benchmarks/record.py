@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
 import resource
@@ -57,28 +58,36 @@ from repro.experiments.dynamic_run import run_dynamic_scenario  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.parallel import resolve_workers  # noqa: E402
 from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.experiments.sweeps import sweep_dlm_parameters  # noqa: E402
 from repro.experiments.table3 import run_table3  # noqa: E402
 from repro.search.flooding import FloodRouter  # noqa: E402
 from repro.sim.scheduler import Simulator  # noqa: E402
 
 
-def bench_scheduler(n_events: int) -> dict:
-    """Schedule + deliver ``n_events`` self-perpetuating events."""
-    sim = Simulator(seed=0)
-    count = 0
+def bench_scheduler(n_events: int, passes: int = 3) -> dict:
+    """Schedule + deliver ``n_events`` self-perpetuating events.
 
-    def handler(s, e):
-        nonlocal count
-        count += 1
-        if count < n_events:
-            s.schedule(0.01, "tick")
+    Best-of-``passes``: shared containers jitter single passes by 2x,
+    so the fastest pass is the least-contended estimate of the same
+    peak throughput (the convention timeit and pytest-benchmark use).
+    """
+    elapsed = math.inf
+    for _ in range(passes):
+        sim = Simulator(seed=0)
+        count = 0
 
-    sim.on("tick", handler)
-    sim.schedule(0.01, "tick")
-    started = time.perf_counter()
-    sim.run()
-    elapsed = time.perf_counter() - started
-    assert count == n_events
+        def handler(s, e):
+            nonlocal count
+            count += 1
+            if count < n_events:
+                s.schedule(0.01, "tick")
+
+        sim.on("tick", handler)
+        sim.schedule(0.01, "tick")
+        started = time.perf_counter()
+        sim.run()
+        elapsed = min(elapsed, time.perf_counter() - started)
+        assert count == n_events
     return {
         "events": n_events,
         "wall_s": round(elapsed, 4),
@@ -102,11 +111,13 @@ def bench_flooding(n: int, horizon: float, n_queries: int) -> dict:
         (sources[i % len(sources)], catalog.query_target(rng))
         for i in range(n_queries)
     ]
-    started = time.perf_counter()
-    hits = 0
-    for src, obj in pairs:
-        hits += router.query(src, obj).found
-    elapsed = time.perf_counter() - started
+    elapsed = math.inf
+    for _ in range(3):  # best-of-3, same rationale as bench_scheduler
+        started = time.perf_counter()
+        hits = 0
+        for src, obj in pairs:
+            hits += router.query(src, obj).found
+        elapsed = min(elapsed, time.perf_counter() - started)
     return {
         "n": n,
         "queries": n_queries,
@@ -215,11 +226,61 @@ def bench_parallel(quick: bool) -> dict:
     }
 
 
+def bench_warmstart(quick: bool) -> dict:
+    """Warm-start sweep forking vs the cold sweep: speedup and parity.
+
+    Runs the same DLM grid twice -- every point a full cold run, then
+    every point forked from one shared warm-up prefix -- and records the
+    wall-clock ratio.  The warm sweep is also executed through the
+    process pool (when more than one worker resolves) and its points
+    must match the serial warm sweep exactly: forks are pure functions
+    of their spec, so parity is an engine invariant, not a tolerance.
+    """
+    cfg = bench_config()
+    if quick:
+        cfg = cfg.with_(n=400, horizon=150.0, warmup=30.0)
+    grid = {"alpha": [1.0, 2.0], "beta": [1.0, 2.0]}
+    fork_at = cfg.horizon / 2
+
+    started = time.perf_counter()
+    sweep_dlm_parameters(grid, config=cfg, n_workers=1)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm_serial = sweep_dlm_parameters(
+        grid, config=cfg, n_workers=1, warm_start_at=fork_at
+    )
+    warm_s = time.perf_counter() - started
+
+    workers = resolve_workers()
+    identical = True
+    if workers > 1:
+        warm_par = sweep_dlm_parameters(
+            grid, config=cfg, n_workers=workers, warm_start_at=fork_at
+        )
+        identical = warm_par.points == warm_serial.points
+        if not identical:
+            raise AssertionError(
+                "parallel warm-start sweep diverged from serial"
+            )
+    return {
+        "points": len(warm_serial.points),
+        "fork_at": fork_at,
+        "horizon": cfg.horizon,
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 2),
+        "serial_parallel_identical": identical,
+        "workers": workers,
+    }
+
+
 #: Throughput metrics gated by ``--compare`` (higher is better).
 THROUGHPUT_METRICS = (
     ("scheduler", "events_per_sec"),
     ("flooding", "queries_per_sec"),
     ("largescale", "events_per_sec"),
+    ("warmstart", "speedup"),
 )
 
 
@@ -270,6 +331,46 @@ def git_commit() -> str | None:
         return None
 
 
+def _git_commit_time(path: Path) -> int:
+    """Unix time of the last commit touching ``path``; 0 if unknown."""
+    try:
+        out = subprocess.run(
+            ["git", "log", "-1", "--format=%ct", "--", str(path)],
+            cwd=path.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return int(out.stdout.strip() or 0)
+    except Exception:
+        return 0
+
+
+def latest_baseline(root: Path = ROOT) -> str | None:
+    """The committed ``BENCH_*.json`` to gate against, or None.
+
+    Selected by each record's embedded ``date`` field -- not the
+    filename, which sorts lexicographically and says nothing when a
+    record was renamed or backfilled -- with the file's git commit time
+    breaking date ties (two records landing the same day gate against
+    the one committed last).  Unreadable or date-less files are skipped.
+    """
+    best_key: tuple[str, int] | None = None
+    best_path: Path | None = None
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            embedded = json.loads(path.read_text()).get("date")
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(embedded, str) or not embedded:
+            continue
+        key = (embedded, _git_commit_time(path))
+        if best_key is None or key > best_key:
+            best_key = key
+            best_path = path
+    return str(best_path) if best_path is not None else None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -290,7 +391,20 @@ def main(argv=None) -> int:
         default=0.15,
         help="max tolerated throughput drop as a fraction (default 0.15)",
     )
+    parser.add_argument(
+        "--latest-baseline",
+        action="store_true",
+        help="print the path of the latest committed BENCH_*.json "
+        "(by embedded date, git commit-time tie-break) and exit; "
+        "prints nothing when no record exists",
+    )
     args = parser.parse_args(argv)
+
+    if args.latest_baseline:
+        base = latest_baseline()
+        if base:
+            print(base)
+        return 0
 
     record = {
         "date": date.today().isoformat(),
@@ -337,6 +451,15 @@ def main(argv=None) -> int:
             f"{pr['parallel_wall_s']}s parallel ({pr['speedup']}x), "
             f"identical={pr['identical_metrics']}"
         )
+
+    print("warm-start sweep forking (cold vs warm)...", flush=True)
+    record["warmstart"] = bench_warmstart(args.quick)
+    ws = record["warmstart"]
+    print(
+        f"  {ws['points']} points: {ws['cold_wall_s']}s cold, "
+        f"{ws['warm_wall_s']}s warm ({ws['speedup']}x), "
+        f"parity={ws['serial_parallel_identical']}"
+    )
 
     out = Path(args.out) if args.out else ROOT / f"BENCH_{record['date']}.json"
     out.write_text(json.dumps(record, indent=2) + "\n")

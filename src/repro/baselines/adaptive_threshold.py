@@ -100,3 +100,20 @@ class AdaptiveThresholdPolicy(LayerPolicy):
         if self._sweep is not None:
             self._sweep.stop()
             self._sweep = None
+
+    def snapshot(self) -> dict:
+        """Checkpoint state: the live threshold plus the retune sweep."""
+        state = super().snapshot()
+        state.update(
+            threshold=self.threshold,
+            adjustments=self.adjustments,
+            sweep=None if self._sweep is None else self._sweep.snapshot(),
+        )
+        return state
+
+    def restore(self, state: dict, sim) -> None:
+        super().restore(state, sim)
+        self.threshold = state["threshold"]
+        self.adjustments = state["adjustments"]
+        if self._sweep is not None and state["sweep"] is not None:
+            self._sweep.restore(state["sweep"], sim)

@@ -86,6 +86,21 @@ class OraclePolicy(LayerPolicy):
             self._sweep.stop()
             self._sweep = None
 
+    def snapshot(self) -> dict:
+        """Checkpoint state: the rebalance tally plus the sweep process."""
+        state = super().snapshot()
+        state.update(
+            rebalances=self.rebalances,
+            sweep=None if self._sweep is None else self._sweep.snapshot(),
+        )
+        return state
+
+    def restore(self, state: dict, sim) -> None:
+        super().restore(state, sim)
+        self.rebalances = state["rebalances"]
+        if self._sweep is not None and state["sweep"] is not None:
+            self._sweep.restore(state["sweep"], sim)
+
     @staticmethod
     def expected_supers(n: int, eta: float) -> int:
         """Equation-b target the oracle drives toward."""

@@ -166,3 +166,35 @@ class ChurnDriver:
             self.capacities.set_scale(scale)
         else:  # pragma: no cover - Shift validates targets already
             raise ValueError(f"unknown shift target {target!r}")
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Driver state: counters, pending deaths (by event seq), and the
+        distributions' applied shift scales.
+
+        Scenario *progress* needs no explicit capture: pending shifts
+        live in the event queue, and already-applied ones are exactly the
+        ``scale`` values recorded here.  (At restore the re-wired driver's
+        ``__init__`` schedules the full shift list again, but those
+        wiring-time events are discarded wholesale when the restored
+        queue replaces them.)
+        """
+        return {
+            "joins": self.joins,
+            "deaths": self.deaths,
+            "leave_events": [
+                (pid, ev.seq) for pid, ev in self._leave_events.items()
+            ],
+            "lifetime_scale": self.lifetimes.scale,
+            "capacity_scale": self.capacities.scale,
+        }
+
+    def restore(self, state: dict, sim: Simulator) -> None:
+        """Re-link pending death events from a restored queue."""
+        self.joins = state["joins"]
+        self.deaths = state["deaths"]
+        self._leave_events = {
+            pid: sim.restored_event(seq) for pid, seq in state["leave_events"]
+        }
+        self.lifetimes.set_scale(state["lifetime_scale"])
+        self.capacities.set_scale(state["capacity_scale"])

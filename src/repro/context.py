@@ -69,6 +69,7 @@ def build_context(
     piggyback: bool = False,
     sim: Optional[Simulator] = None,
     faults: Optional[FaultPlan] = None,
+    rng_domain: int = 0,
 ) -> SystemContext:
     """Standard wiring of a fresh system (Table-2 degree parameters).
 
@@ -86,8 +87,12 @@ def build_context(
         ``None`` for omniscient information collection; a
         :class:`FaultPlan` for the message-driven engine with its loss,
         latency, and timeout parameters.
+    rng_domain:
+        RNG stream namespace (see :class:`~repro.sim.rng.RngStreams`);
+        nonzero domains give warm-start forks fresh randomness that
+        never collides with the checkpointed prefix's streams.
     """
-    sim = sim if sim is not None else Simulator(seed=seed)
+    sim = sim if sim is not None else Simulator(seed=seed, rng_domain=rng_domain)
     overlay = Overlay()
     join = JoinProcedure(overlay, m, sim.rng.get("bootstrap"), k_s=k_s)
     maintenance = Maintenance(overlay, join, m=m, k_s=k_s)

@@ -291,3 +291,50 @@ class DLMPolicy(LayerPolicy):
         if self._eval_sweep is not None:
             self._eval_sweep.stop()
             self._eval_sweep = None
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counters, dedup/rate-limit bookkeeping, and sweep processes.
+
+        ``_pending`` is only ever membership-tested (never iterated), so a
+        plain set is fine at runtime; it is serialized sorted for a
+        canonical representation.  The estimator and scaler are pure
+        functions of config plus live overlay state -- nothing to capture.
+        """
+        return {
+            "policy": self.name,
+            "evaluations": self.evaluations,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "forced_demotions": self.forced_demotions,
+            "deferrals": self.deferrals,
+            "pending": sorted(self._pending),
+            "last_eval": list(self._last_eval.items()),
+            "sweep": None if self._sweep is None else self._sweep.snapshot(),
+            "eval_sweep": (
+                None if self._eval_sweep is None else self._eval_sweep.snapshot()
+            ),
+        }
+
+    def restore(self, state: dict, sim) -> None:
+        """Restore counters and re-link sweep events from the queue."""
+        super().restore(state, sim)
+        self.evaluations = state["evaluations"]
+        self.promotions = state["promotions"]
+        self.demotions = state["demotions"]
+        self.forced_demotions = state["forced_demotions"]
+        self.deferrals = state["deferrals"]
+        self._pending = set(state["pending"])
+        self._last_eval = dict(state["last_eval"])
+        for process, proc_state in (
+            (self._sweep, state["sweep"]),
+            (self._eval_sweep, state["eval_sweep"]),
+        ):
+            if (process is None) != (proc_state is None):
+                raise ValueError(
+                    "DLM sweep configuration differs between the checkpoint "
+                    "and the restored config (periodic/evaluation intervals "
+                    "must enable the same processes)"
+                )
+            if process is not None:
+                process.restore(proc_state, sim)

@@ -65,3 +65,23 @@ class LayerPolicy(ABC):
 
     def on_peer_left(self, pid: int) -> None:
         """Called by the churn driver after a peer has been removed."""
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint state; the base implementation covers stateless
+        policies (static, preconfigured, random -- whose only randomness
+        lives in the simulator's restored RNG streams).
+
+        Policies holding mutable state or recurring processes (DLM,
+        adaptive-threshold, oracle) MUST override both hooks: a silently
+        un-captured sweep process would dangle after restore.
+        """
+        return {"policy": self.name}
+
+    def restore(self, state: dict, sim) -> None:
+        """Restore a :meth:`snapshot`; validates the policy identity."""
+        if state.get("policy") != self.name:
+            raise ValueError(
+                f"checkpoint was taken under policy {state.get('policy')!r}, "
+                f"cannot restore into {self.name!r}"
+            )

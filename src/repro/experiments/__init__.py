@@ -5,6 +5,12 @@ the :mod:`.registry`, the ``repro-experiment`` CLI, and one
 ``run_<artifact>`` function per paper artifact.
 """
 
+from .checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    config_hash,
+    resume_run,
+)
 from .comparison_run import ComparisonRun, matched_threshold, run_comparison
 from .configs import ExperimentConfig, SearchConfig, bench_config, table2_config
 from .dynamic_run import DynamicRun, run_dynamic_scenario
@@ -23,8 +29,13 @@ from .runner import RunResult, default_policy_factory, run_experiment
 from .sweeps import SweepPoint, SweepResult, sweep_dlm_parameters
 from .table3 import BENCH_SIZES, PAPER_SIZES, Table3Result, run_table3
 from .tournament import TournamentResult, TournamentRow, run_tournament
+from .warmstart import WarmStart, build_warm_start, fork_run, warm_replicate
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "config_hash",
+    "resume_run",
     "ComparisonRun",
     "matched_threshold",
     "run_comparison",
@@ -74,4 +85,8 @@ __all__ = [
     "TournamentResult",
     "TournamentRow",
     "run_tournament",
+    "WarmStart",
+    "build_warm_start",
+    "fork_run",
+    "warm_replicate",
 ]

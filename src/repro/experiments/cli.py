@@ -32,9 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(all_ids()) + ["list", "report"],
         help="experiment id, 'list' to enumerate, or 'report' to "
-        "regenerate EXPERIMENTS.md content on stdout",
+        "regenerate EXPERIMENTS.md content on stdout (omit with --resume)",
     )
     scale_group = parser.add_mutually_exclusive_group()
     scale_group.add_argument(
@@ -84,6 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the render and shape metrics into DIR",
     )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="T",
+        help="write a resumable checkpoint every T simulated time units "
+        "(requires --checkpoint-path)",
+    )
+    parser.add_argument(
+        "--checkpoint-path",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file the periodic writer atomically replaces",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume a checkpointed run and continue it to its horizon "
+        "(or --horizon); resumption is bit-identical to the "
+        "uninterrupted run",
+    )
     return parser
 
 
@@ -96,6 +119,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # setting the env var reaches them through the registry's plain
         # run(cfg) signature.
         os.environ[WORKERS_ENV] = str(args.workers)
+
+    if args.resume is not None:
+        return _resume(args)
+    if args.experiment is None:
+        print("error: an experiment id is required unless --resume is given",
+              file=sys.stderr)
+        return 2
 
     if args.experiment == "list":
         for exp_id in all_ids():
@@ -130,6 +160,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 latency_scale=args.latency_scale or 0.0,
             )
         )
+    if args.checkpoint_every is not None:
+        if args.checkpoint_path is None:
+            print("error: --checkpoint-every requires --checkpoint-path",
+                  file=sys.stderr)
+            return 2
+        cfg = cfg.with_(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+        )
 
     started = time.perf_counter()
     if args.experiment == "table3" and args.n is None:
@@ -153,6 +192,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.save:
         _save_artifacts(args.save, args.experiment, rendered, shape)
     print(f"\n[{args.experiment} completed in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _resume(args) -> int:
+    """Continue a checkpointed run (``--resume PATH``) and summarize it."""
+    from .checkpoint import CheckpointError, CheckpointManager, resume_run
+
+    started = time.perf_counter()
+    try:
+        header = CheckpointManager.load(args.resume)["header"]
+        result = resume_run(args.resume, horizon=args.horizon)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    overlay = result.overlay
+    print(
+        f"resumed {result.config.name!r} ({header['policy']}) from "
+        f"t={header['time']:g} to t={result.ctx.sim.now:g}"
+    )
+    print(
+        f"  peers: {overlay.n}  supers: {overlay.n_super}  "
+        f"ratio: {overlay.layer_size_ratio():.2f}  "
+        f"joins: {result.driver.joins}  deaths: {result.driver.deaths}"
+    )
+    print(f"\n[resume completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 

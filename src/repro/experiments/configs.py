@@ -77,6 +77,13 @@ class ExperimentConfig:
     dlm: Optional[DLMConfig] = None
     search: Optional[SearchConfig] = None
     faults: Optional[FaultPlan] = None
+    #: Write a checkpoint every this many time units (None: no writer).
+    #: Excluded from the checkpoint-compat config hash: changing the
+    #: writing cadence never changes the simulated trajectory.
+    checkpoint_every: Optional[float] = None
+    #: Where the periodic writer puts its checkpoint (required with
+    #: ``checkpoint_every``); also excluded from the config hash.
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -87,6 +94,11 @@ class ExperimentConfig:
             raise ValueError("horizon must exceed warmup")
         if self.sample_interval <= 0 or self.maintenance_interval <= 0:
             raise ValueError("intervals must be positive")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            if self.checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
 
     @property
     def k_l(self) -> float:

@@ -10,13 +10,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from ..util.tables import render_table
 from .configs import ExperimentConfig, bench_config
 from .parallel import parallel_map
 
-__all__ = ["MetricStats", "ReplicationResult", "replicate"]
+__all__ = [
+    "MetricStats",
+    "ReplicationResult",
+    "replicate",
+    "aggregate_metric",
+    "aggregate_shapes",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,7 +71,8 @@ class ReplicationResult:
         return self.metrics[name].cv <= max_cv
 
 
-def _aggregate(name: str, values: List[float]) -> MetricStats:
+def aggregate_metric(name: str, values: List[float]) -> MetricStats:
+    """Mean/std/min/max of one metric's per-run values."""
     n = len(values)
     mean = sum(values) / n
     var = sum((v - mean) ** 2 for v in values) / n
@@ -77,6 +84,30 @@ def _aggregate(name: str, values: List[float]) -> MetricStats:
         maximum=max(values),
         n=n,
     )
+
+
+def aggregate_shapes(
+    shapes: Sequence[Mapping[str, object]],
+) -> Dict[str, MetricStats]:
+    """Aggregate per-run shape dicts into per-metric statistics.
+
+    Booleans aggregate as the fraction of runs where they held; a metric
+    missing (or non-finite) in any run is dropped rather than averaged
+    over a partial sample.  Shared by :func:`replicate` and the
+    warm-start replication engine.
+    """
+    collected: Dict[str, List[float]] = {}
+    for shape in shapes:
+        for key, value in shape.items():
+            if isinstance(value, bool):
+                value = 1.0 if value else 0.0
+            if isinstance(value, (int, float)) and math.isfinite(float(value)):
+                collected.setdefault(key, []).append(float(value))
+    return {
+        name: aggregate_metric(name, values)
+        for name, values in collected.items()
+        if len(values) == len(shapes)
+    }
 
 
 def _shape_worker(spec) -> Dict[str, object]:
@@ -114,18 +145,7 @@ def replicate(
     cfg0 = config if config is not None else bench_config()
     specs = [(run_fn, cfg0.with_(seed=int(seed))) for seed in seeds]
     shapes = parallel_map(_shape_worker, specs, n_workers=n_workers)
-    collected: Dict[str, List[float]] = {}
-    for shape in shapes:
-        for key, value in shape.items():
-            if isinstance(value, bool):
-                value = 1.0 if value else 0.0
-            if isinstance(value, (int, float)) and math.isfinite(float(value)):
-                collected.setdefault(key, []).append(float(value))
-    metrics = {
-        name: _aggregate(name, values)
-        for name, values in collected.items()
-        if len(values) == len(seeds)
-    }
+    metrics = aggregate_shapes(shapes)
     return ReplicationResult(
         experiment=experiment, seeds=tuple(seeds), metrics=metrics
     )

@@ -28,6 +28,7 @@ from ..search.flooding import FloodRouter
 from ..search.index import ContentDirectory
 from ..search.workload import QueryWorkload
 from ..sim.processes import PeriodicProcess
+from .checkpoint import CheckpointManager, restore_run_state
 from .configs import ExperimentConfig
 
 __all__ = ["RunResult", "run_experiment", "default_policy_factory"]
@@ -44,8 +45,12 @@ class RunResult:
     policy: LayerPolicy
     driver: ChurnDriver
     series: SeriesBundle
+    sampler: LayerStatsSampler = None  # set by run_experiment
+    maintenance_process: PeriodicProcess = None  # set by run_experiment
     workload: Optional[QueryWorkload] = None
     directory: Optional[ContentDirectory] = None
+    checkpoint_manager: Optional[CheckpointManager] = None
+    checkpoint_process: Optional[PeriodicProcess] = None
 
     @property
     def overlay(self):
@@ -80,19 +85,33 @@ def run_experiment(
     policy_factory: PolicyFactory = default_policy_factory,
     scenario: Optional[Scenario] = None,
     run: bool = True,
+    resume_from: Optional[dict] = None,
+    fresh_rng_domain: Optional[int] = None,
 ) -> RunResult:
     """Wire and (by default) execute one run to ``config.horizon``.
 
     With ``run=False`` the caller receives the fully wired system before
     any event fires -- used by tests that want to single-step.
+
+    ``resume_from`` takes a checkpoint payload (at least its ``"state"``
+    entry): the system is wired exactly as for a fresh run -- which
+    re-derives all listeners, handlers, and process tokens -- then the
+    captured state replaces the fresh state before the run continues.
+    ``fresh_rng_domain`` (warm-start forks) keeps the checkpoint's RNG
+    streams *out*: the wired system draws from the given RNG domain
+    instead, so forked futures are independent of the prefix's draws.
     """
     ctx = build_context(
-        seed=config.seed, m=config.m, k_s=config.k_s, faults=config.faults
+        seed=config.seed,
+        m=config.m,
+        k_s=config.k_s,
+        faults=config.faults,
+        rng_domain=fresh_rng_domain if fresh_rng_domain is not None else 0,
     )
     policy = policy_factory(config)
     policy.bind(ctx)
 
-    PeriodicProcess(
+    maintenance_process = PeriodicProcess(
         ctx.sim,
         config.maintenance_interval,
         lambda sim, now: ctx.maintenance.sweep(),
@@ -103,7 +122,8 @@ def run_experiment(
     driver = ChurnDriver(
         ctx, policy, lifetimes, capacities, replacement=True, scenario=scenario
     )
-    driver.populate(config.n, warmup=config.warmup)
+    if resume_from is None:
+        driver.populate(config.n, warmup=config.warmup)
 
     sampler = LayerStatsSampler(
         ctx.sim,
@@ -136,9 +156,30 @@ def run_experiment(
         policy=policy,
         driver=driver,
         series=sampler.bundle,
+        sampler=sampler,
+        maintenance_process=maintenance_process,
         workload=workload,
         directory=directory,
     )
+
+    if config.checkpoint_every is not None:
+        manager = CheckpointManager(
+            config.checkpoint_path, config, scenario=scenario
+        )
+        result.checkpoint_manager = manager
+        result.checkpoint_process = PeriodicProcess(
+            ctx.sim,
+            config.checkpoint_every,
+            lambda sim, now: manager.write(result),
+            start=config.checkpoint_every,
+            kind="checkpoint_write",
+        )
+
+    if resume_from is not None:
+        restore_run_state(
+            result, resume_from["state"], restore_rng=fresh_rng_domain is None
+        )
+
     if run:
         ctx.sim.run(until=config.horizon)
     return result

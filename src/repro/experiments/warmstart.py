@@ -1,0 +1,182 @@
+"""Warm-start forking: share one simulated prefix across many runs.
+
+Replication seed sets and DLM parameter sweeps re-simulate the same
+expensive warm-up -- populate n peers, churn to steady state -- once per
+run, even though every run's prefix is identical (replicates diverge
+only in post-fork randomness; sweep points only in post-fork policy
+parameters).  Warm-start forking runs the shared prefix **once**,
+captures it with the checkpoint plane, and forks each run from the
+in-memory snapshot:
+
+* :func:`build_warm_start` wires a run, executes it to ``fork_at``, and
+  freezes the captured state into a picklable :class:`WarmStart`.
+* :func:`fork_run` rebuilds a fresh system from the (optionally
+  overridden) config, loads the snapshot, and runs to the horizon.
+  Forks draw their post-fork randomness from RNG domain
+  :data:`FORK_RNG_DOMAIN` seeded by the fork's own ``seed`` -- never
+  from the checkpoint's streams -- so distinct seeds give independent
+  futures while the prefix stays shared.
+
+A fork is a pure function of ``(WarmStart, overrides)``: no random or
+mutable state crosses a process boundary, so fanning forks over the
+parallel engine is bit-identical to running them serially -- the same
+parity guarantee the cold sweep engine documents, preserved here by
+construction.  Overrides must not change the wiring shape (enable or
+disable processes/planes); the restore path raises rather than resuming
+into mismatched wiring.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..churn.scenarios import Scenario
+from ..core.config import DLMConfig
+from .checkpoint import CheckpointError, capture_run_state
+from .configs import ExperimentConfig
+from .parallel import parallel_map
+from .replication import ReplicationResult, aggregate_shapes
+from .runner import RunResult, default_policy_factory, run_experiment
+
+__all__ = [
+    "FORK_RNG_DOMAIN",
+    "WarmStart",
+    "build_warm_start",
+    "fork_run",
+    "warm_replicate",
+]
+
+#: RNG domain every fork draws from (the prefix drew from domain 0), so
+#: post-fork streams are independent of the checkpoint by construction.
+FORK_RNG_DOMAIN = 1
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """A frozen, picklable prefix snapshot forks restore from."""
+
+    #: Pickled ``capture_run_state`` payload (bytes keep the dataclass
+    #: cheaply hashable/copyable and make cross-process transfer exact).
+    blob: bytes
+    config: ExperimentConfig
+    scenario: Optional[Scenario]
+    fork_time: float
+    policy: str
+
+    def state(self) -> dict:
+        """A fresh deep copy of the captured state (forks mutate it)."""
+        return pickle.loads(self.blob)
+
+
+def build_warm_start(
+    config: ExperimentConfig,
+    *,
+    fork_at: float,
+    policy_factory=default_policy_factory,
+    scenario: Optional[Scenario] = None,
+) -> WarmStart:
+    """Run the shared prefix once and freeze it at ``fork_at``."""
+    if not 0.0 < fork_at < config.horizon:
+        raise ValueError(
+            f"fork_at must lie inside (0, horizon={config.horizon}), got {fork_at}"
+        )
+    prefix = run_experiment(
+        config, policy_factory=policy_factory, scenario=scenario, run=False
+    )
+    prefix.ctx.sim.run(until=fork_at)
+    return WarmStart(
+        blob=pickle.dumps(
+            capture_run_state(prefix), protocol=pickle.HIGHEST_PROTOCOL
+        ),
+        config=config,
+        scenario=scenario,
+        fork_time=fork_at,
+        policy=prefix.policy.name,
+    )
+
+
+def fork_run(
+    warm: WarmStart,
+    *,
+    seed: Optional[int] = None,
+    dlm: Optional[DLMConfig] = None,
+    horizon: Optional[float] = None,
+    policy_factory=default_policy_factory,
+) -> RunResult:
+    """Continue the shared prefix to the horizon, with overrides.
+
+    ``seed`` re-seeds the fork's post-fork RNG streams (the prefix is
+    unaffected -- it is already simulated); ``dlm`` swaps the policy
+    parameters the suffix runs under (the sweep use case); ``horizon``
+    extends or shortens the suffix.  None of these may change which
+    processes exist -- that would break event re-association, and the
+    restore path raises if it does.
+    """
+    changes: Dict[str, object] = {}
+    if seed is not None:
+        changes["seed"] = seed
+    if dlm is not None:
+        changes["dlm"] = dlm
+    if horizon is not None:
+        changes["horizon"] = horizon
+    cfg = warm.config.with_(**changes) if changes else warm.config
+    if cfg.horizon <= warm.fork_time:
+        raise CheckpointError(
+            f"horizon {cfg.horizon} does not extend past the fork time "
+            f"{warm.fork_time}"
+        )
+    return run_experiment(
+        cfg,
+        policy_factory=policy_factory,
+        scenario=warm.scenario,
+        resume_from={"state": warm.state()},
+        fresh_rng_domain=FORK_RNG_DOMAIN,
+    )
+
+
+def fork_shape(result: RunResult) -> Dict[str, float]:
+    """The default picklable reduction of one fork's outcome."""
+    tail = result.series["ratio"].tail_mean()
+    shape: Dict[str, float] = {
+        "tail_ratio": tail,
+        "n": float(result.overlay.n),
+        "n_super": float(result.overlay.n_super),
+        "promotions": float(result.overlay.total_promotions),
+        "demotions": float(result.overlay.total_demotions),
+        "joins": float(result.driver.joins),
+        "deaths": float(result.driver.deaths),
+    }
+    return shape
+
+
+def _replicate_worker(spec) -> Dict[str, float]:
+    """Worker: one seeded fork, reduced to its shape metrics."""
+    warm, seed = spec
+    return fork_shape(fork_run(warm, seed=seed))
+
+
+def warm_replicate(
+    warm: WarmStart,
+    *,
+    seeds: Sequence[int],
+    n_workers: Optional[int] = None,
+) -> ReplicationResult:
+    """Replicate the suffix over ``seeds`` from one shared prefix.
+
+    Where :func:`~repro.experiments.replication.replicate` pays the full
+    warm-up once per seed, this pays it once total; each seed's fork
+    draws independent post-fork randomness.  Serial and parallel
+    execution agree bit for bit (forks are pure functions of their
+    spec).
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    specs = [(warm, int(seed)) for seed in seeds]
+    shapes = parallel_map(_replicate_worker, specs, n_workers=n_workers)
+    return ReplicationResult(
+        experiment=f"warm:{warm.config.name}",
+        seeds=tuple(int(s) for s in seeds),
+        metrics=aggregate_shapes(shapes),
+    )

@@ -98,6 +98,18 @@ class LayerStatsSampler:
         """Cancel future samples."""
         self._process.stop()
 
+    def snapshot(self) -> dict:
+        """Checkpoint state: the recorded series plus the tick process."""
+        return {
+            "bundle": self.bundle.snapshot(),
+            "process": self._process.snapshot(),
+        }
+
+    def restore(self, state: dict, sim: Simulator) -> None:
+        """Resume sampling exactly where the snapshot left off."""
+        self.bundle.restore(state["bundle"])
+        self._process.restore(state["process"], sim)
+
     def sample(self, sim: Simulator, now: float) -> None:
         """Take one sample at ``now`` (also callable directly in tests)."""
         agg = self.overlay.aggregates

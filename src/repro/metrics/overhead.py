@@ -22,6 +22,7 @@ separately (``death_reconnects``) because the ablation benches use it.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, fields, replace
 
 __all__ = ["OverheadCounters", "OverheadLedger", "Table3Row"]
@@ -126,6 +127,20 @@ class OverheadLedger:
         self._mark = self._c
         self._mark_time = now
         return delta, elapsed
+
+    def snapshot(self) -> dict:
+        """Checkpoint state: cumulative counters plus the window mark."""
+        return {
+            "counters": dataclasses.asdict(self._c),
+            "mark": dataclasses.asdict(self._mark),
+            "mark_time": self._mark_time,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace counters and window mark with a :meth:`snapshot`."""
+        self._c = OverheadCounters(**state["counters"])
+        self._mark = OverheadCounters(**state["mark"])
+        self._mark_time = state["mark_time"]
 
     def table3_row(
         self, network_size: int, window: OverheadCounters, elapsed: float

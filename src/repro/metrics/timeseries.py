@@ -71,6 +71,23 @@ class TimeSeries:
         mask = (times >= t_from) & (times <= t_to)
         return self.values[mask]
 
+    def snapshot(self) -> dict:
+        """The raw buffers as bytes -- bit-exact, no float round-trip."""
+        return {
+            "name": self.name,
+            "times": self._times.tobytes(),
+            "values": self._values.tobytes(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace the buffers with a :meth:`snapshot`'s contents."""
+        times = array("d")
+        times.frombytes(state["times"])
+        values = array("d")
+        values.frombytes(state["values"])
+        self._times = times
+        self._values = values
+
     def tail_mean(self, fraction: float = 0.25) -> float:
         """Mean of the last ``fraction`` of samples (steady-state read)."""
         if not 0 < fraction <= 1:
@@ -113,3 +130,15 @@ class SeriesBundle:
 
     def __len__(self) -> int:
         return len(self._series)
+
+    def snapshot(self) -> list:
+        """Every series' state, in creation order."""
+        return [s.snapshot() for s in self._series.values()]
+
+    def restore(self, state: list) -> None:
+        """Rebuild the bundle in place from a :meth:`snapshot`."""
+        self._series.clear()
+        for entry in state:
+            series = TimeSeries(entry["name"])
+            series.restore(entry)
+            self._series[entry["name"]] = series

@@ -223,6 +223,20 @@ class OverlayAggregates:
                 fresh.leaf_layer.add(peer)
         return fresh
 
+    def resync(self) -> None:
+        """Rebuild the counters in place from a brute-force scan.
+
+        The checkpoint-restore path: aggregates are derived state, so they
+        are recomputed from the restored topology rather than pickled.  The
+        scan uses the same exact fixed-point arithmetic as the incremental
+        maintenance, so the rebuilt counters equal what the uninterrupted
+        run's counters would be -- bit for bit, big-int for big-int.
+        """
+        fresh = self.scan()
+        self.super_layer = fresh.super_layer
+        self.leaf_layer = fresh.leaf_layer
+        self.leaf_link_count = fresh.leaf_link_count
+
     def mismatches(self) -> List[str]:
         """Differences against a brute-force scan (empty == consistent)."""
         fresh = self.scan()

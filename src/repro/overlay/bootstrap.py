@@ -10,7 +10,6 @@ somewhere to attach.
 
 from __future__ import annotations
 
-import itertools
 from typing import List, Optional
 
 import numpy as np
@@ -58,11 +57,21 @@ class JoinProcedure:
         self.k_s = k_s
         self.rng = rng
         self.seed_supers = seed_supers
-        self._ids = itertools.count()
+        self._next_id = 0
 
     def next_pid(self) -> int:
         """Allocate a fresh peer id."""
-        return next(self._ids)
+        pid = self._next_id
+        self._next_id = pid + 1
+        return pid
+
+    def snapshot(self) -> dict:
+        """The id-allocation watermark (pids are never reused)."""
+        return {"next_pid": self._next_id}
+
+    def restore(self, state: dict) -> None:
+        """Resume id allocation where the snapshot left off."""
+        self._next_id = state["next_pid"]
 
     def join(
         self,

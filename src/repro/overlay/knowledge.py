@@ -100,3 +100,23 @@ class NeighborKnowledge:
     def forget(self, pid: int) -> None:
         """Drop the observation of ``pid`` (the neighbor is gone)."""
         self._obs.pop(pid, None)
+
+    def snapshot(self) -> list:
+        """All observations as plain tuples, in insertion order."""
+        return [
+            (pid, o.capacity, o.age_at_obs, o.values_time, o.l_nn, o.lnn_time)
+            for pid, o in self._obs.items()
+        ]
+
+    def restore(self, state: list) -> None:
+        """Rebuild the cache from a :meth:`snapshot`, preserving order."""
+        self._obs = {
+            pid: Observation(
+                capacity=capacity,
+                age_at_obs=age_at_obs,
+                values_time=values_time,
+                l_nn=l_nn,
+                lnn_time=lnn_time,
+            )
+            for pid, capacity, age_at_obs, values_time, l_nn, lnn_time in state
+        }

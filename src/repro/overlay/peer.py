@@ -19,8 +19,8 @@ sees ages).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Set
 
+from ..util.idset import IdSet
 from .knowledge import NeighborKnowledge
 from .roles import Role
 
@@ -46,7 +46,11 @@ class Peer:
         churn process removes the peer.  Hidden from the DLM algorithm.
     super_neighbors / leaf_neighbors:
         Adjacency, maintained by :class:`~repro.overlay.topology.Overlay`.
-        A leaf's ``leaf_neighbors`` is always empty.
+        A leaf's ``leaf_neighbors`` is always empty.  Stored as
+        insertion-ordered :class:`~repro.util.idset.IdSet`\\ s: neighbor
+        iteration order feeds RNG-indexed selection, so it must be
+        deterministic and reconstructible from a checkpoint (a builtin
+        ``set``'s order depends on its full insertion/deletion history).
     contacted_supers:
         For a leaf, every super-peer it has connected to since joining --
         the paper's related set ``G(l)`` (§4 Phase 2).  Cleared on role
@@ -72,9 +76,9 @@ class Peer:
     capacity: float
     join_time: float
     lifetime: float
-    super_neighbors: Set[int] = field(default_factory=set)
-    leaf_neighbors: Set[int] = field(default_factory=set)
-    contacted_supers: Set[int] = field(default_factory=set)
+    super_neighbors: IdSet = field(default_factory=IdSet)
+    leaf_neighbors: IdSet = field(default_factory=IdSet)
+    contacted_supers: IdSet = field(default_factory=IdSet)
     role_change_time: float = 0.0
     eligible: bool = True
     knowledge: NeighborKnowledge = field(default_factory=NeighborKnowledge)

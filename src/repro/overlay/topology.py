@@ -40,6 +40,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..util.idset import IdSet
 from ..util.indexed_set import IndexedSet
 from .aggregates import OverlayAggregates
 from .peer import Peer
@@ -305,15 +306,19 @@ class Overlay:
         supers = list(peer.super_neighbors)
         if len(supers) > m:
             kept_idx = rng.choice(len(supers), size=m, replace=False)
-            kept = {supers[int(i)] for i in kept_idx}
+            # Keep `kept` an ordered list (adjacency order): it is iterated
+            # below and seeds contacted_supers, so its order must be
+            # deterministic and checkpoint-reconstructible.
+            kept = [supers[int(i)] for i in kept_idx]
         else:
-            kept = set(supers)
+            kept = supers
+        kept_set = set(kept)
 
         # Drop surplus super links and all leaf links (notifying while the
         # peer is still a super-peer, so observers see the true link types).
         orphans = list(peer.leaf_neighbors)
         for sid in supers:
-            if sid not in kept:
+            if sid not in kept_set:
                 self._notify_link(pid, sid, False)
                 self._peers[sid].super_neighbors.discard(pid)
                 peer.super_neighbors.discard(sid)
@@ -330,7 +335,7 @@ class Overlay:
             other = self._peers[sid]
             other.super_neighbors.discard(pid)
             other.leaf_neighbors.add(pid)
-        peer.contacted_supers = set(kept)
+        peer.contacted_supers = IdSet(kept)
         self.total_demotions += 1
         for fn in self._role_listeners:
             fn(peer, Role.SUPER)
@@ -416,6 +421,88 @@ class Overlay:
                     )
                 if peer.pid not in other.super_neighbors:
                     raise OverlayError(f"asymmetric link {peer.pid}--{lid}")
+
+    # -- checkpointing -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full topology state: peers (with ordered adjacency), layers,
+        cumulative counters.
+
+        Listener lists are wiring, not state, and the aggregates are
+        derived -- both are re-established by the composition root.
+        """
+        peers = [
+            (
+                p.pid,
+                p.role.value,
+                p.capacity,
+                p.join_time,
+                p.lifetime,
+                list(p.super_neighbors),
+                list(p.leaf_neighbors),
+                list(p.contacted_supers),
+                p.role_change_time,
+                p.eligible,
+                p.knowledge.snapshot(),
+            )
+            for p in self._peers.values()
+        ]
+        return {
+            "peers": peers,
+            "super_ids": self.super_ids.snapshot(),
+            "leaf_ids": self.leaf_ids.snapshot(),
+            "total_joins": self.total_joins,
+            "total_leaves": self.total_leaves,
+            "total_promotions": self.total_promotions,
+            "total_demotions": self.total_demotions,
+            "total_connections_created": self.total_connections_created,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the topology from a :meth:`snapshot`.
+
+        Must be called on a freshly wired (empty) overlay.  Peers are
+        rebuilt directly -- no membership/link listeners fire, since
+        derived state (aggregates, search index) restores from its own
+        snapshot or a rebuild.  The registry dict is mutated in place:
+        ``self.get`` is a bound method of that exact dict.
+        """
+        if self._peers:
+            raise OverlayError("restore requires an empty overlay")
+        for (
+            pid,
+            role_value,
+            capacity,
+            join_time,
+            lifetime,
+            super_neighbors,
+            leaf_neighbors,
+            contacted_supers,
+            role_change_time,
+            eligible,
+            knowledge_state,
+        ) in state["peers"]:
+            peer = Peer(
+                pid=pid,
+                role=Role(role_value),
+                capacity=capacity,
+                join_time=join_time,
+                lifetime=lifetime,
+                role_change_time=role_change_time,
+                eligible=eligible,
+            )
+            peer.super_neighbors = IdSet(super_neighbors)
+            peer.leaf_neighbors = IdSet(leaf_neighbors)
+            peer.contacted_supers = IdSet(contacted_supers)
+            peer.knowledge.restore(knowledge_state)
+            self._peers[pid] = peer
+        self.super_ids.restore(state["super_ids"])
+        self.leaf_ids.restore(state["leaf_ids"])
+        self.total_joins = state["total_joins"]
+        self.total_leaves = state["total_leaves"]
+        self.total_promotions = state["total_promotions"]
+        self.total_demotions = state["total_demotions"]
+        self.total_connections_created = state["total_connections_created"]
+        self.aggregates.resync()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

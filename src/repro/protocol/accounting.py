@@ -189,6 +189,38 @@ class MessageLedger:
             return 0.0
         return self.dlm_bytes / total
 
+    # -- checkpointing ---------------------------------------------------------
+    # ``snapshot``/``window`` are the public marker API above, so the
+    # Snapshottable protocol is implemented under the alternate spelling
+    # (see repro.sim.snapshot): full-state capture including the window
+    # mark.  The per-type cost cache is derived and rebuilt lazily.
+    def snapshot_state(self) -> dict:
+        """Full checkpoint state: counters plus the window mark."""
+        mark = self._mark
+        return {
+            "counts": dict(self._counts),
+            "bytes": dict(self._bytes),
+            "piggybacked": dict(self._piggybacked),
+            "retransmissions": dict(self._retransmissions),
+            "timeouts": dict(self._timeouts),
+            "mark": {
+                "counts": dict(mark.counts),
+                "bytes": dict(mark.bytes),
+                "piggybacked": dict(mark.piggybacked),
+                "retransmissions": dict(mark.retransmissions),
+                "timeouts": dict(mark.timeouts),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace counters and window mark with a :meth:`snapshot_state`."""
+        self._counts = defaultdict(int, state["counts"])
+        self._bytes = defaultdict(int, state["bytes"])
+        self._piggybacked = defaultdict(int, state["piggybacked"])
+        self._retransmissions = defaultdict(int, state["retransmissions"])
+        self._timeouts = defaultdict(int, state["timeouts"])
+        self._mark = LedgerSnapshot(**state["mark"])
+
     # -- windows ---------------------------------------------------------------
     def window(self) -> LedgerSnapshot:
         """Counters accumulated since the previous :meth:`window` call."""

@@ -53,7 +53,6 @@ is the standard consumer.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..overlay.topology import Overlay
@@ -152,7 +151,7 @@ class InfoExchange:
         self._trace_listeners: List[TraceListener] = []
         if faults is not None:
             assert sim is not None
-            self._rid = itertools.count()
+            self._next_rid = 0
             self._inflight: Dict[int, _Pending] = {}
             self._by_key: Dict[Tuple[int, int, str], _Pending] = {}
             self._outstanding: Dict[int, int] = {}
@@ -318,17 +317,73 @@ class InfoExchange:
                     started += self._start_request(pid, lid, "value")
         return started
 
+    # -- checkpointing --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint state: rid counter plus the live in-flight table.
+
+        Pending requests serialize by value with their timeout events
+        referenced by scheduler ``seq``; the ``_Pending`` free-list pool
+        is a pure allocation cache and is rebuilt empty on restore.
+        Deliver events in flight live in the scheduler queue and re-bind
+        through the handler registry, not here.
+        """
+        if self.faults is None:
+            return {"message_driven": False}
+        return {
+            "message_driven": True,
+            "next_rid": self._next_rid,
+            "inflight": [
+                (
+                    p.rid,
+                    p.requester,
+                    p.responder,
+                    p.kind,
+                    p.attempt,
+                    None if p.timeout_event is None else p.timeout_event.seq,
+                )
+                for p in self._inflight.values()
+            ],
+            "outstanding": list(self._outstanding.items()),
+        }
+
+    def restore(self, state: dict, sim: Simulator) -> None:
+        """Rebuild the in-flight table, re-linking timeouts by seq."""
+        if state["message_driven"] != self.message_driven:
+            raise ValueError(
+                "checkpoint transport mode (message-driven="
+                f"{state['message_driven']}) does not match the restored "
+                f"config (message-driven={self.message_driven})"
+            )
+        if self.faults is None:
+            return
+        self._next_rid = state["next_rid"]
+        self._inflight = {}
+        self._by_key = {}
+        self._pool = []
+        for rid, requester, responder, kind, attempt, timeout_seq in state[
+            "inflight"
+        ]:
+            pending = _Pending(rid, requester, responder, kind)
+            pending.attempt = attempt
+            if timeout_seq is not None:
+                pending.timeout_event = sim.restored_event(timeout_seq)
+            self._inflight[rid] = pending
+            self._by_key[pending.key] = pending
+        self._outstanding = dict(state["outstanding"])
+
     # -- the in-flight engine -------------------------------------------------
     def _start_request(self, requester: int, responder: int, kind: str) -> bool:
         """Put one logical request in flight; False if already pending."""
         key = (requester, responder, kind)
         if key in self._by_key:
             return False
+        rid = self._next_rid
+        self._next_rid = rid + 1
         if self._pool:
             pending = self._pool.pop()
-            pending.reset(next(self._rid), requester, responder, kind)
+            pending.reset(rid, requester, responder, kind)
         else:
-            pending = _Pending(next(self._rid), requester, responder, kind)
+            pending = _Pending(rid, requester, responder, kind)
         self._by_key[key] = pending
         self._inflight[pending.rid] = pending
         self._outstanding[requester] = self._outstanding.get(requester, 0) + 1

@@ -146,6 +146,23 @@ class ContentDirectory:
                 for obj in my_files:
                     idx[obj] += 1
 
+    # -- checkpointing -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpoint state: the per-peer file assignments only.
+
+        The per-super indexes are derived data -- rebuilt from the
+        restored overlay topology plus the file table, exactly as
+        :meth:`rebuild_index` defines them -- so they are not pickled.
+        """
+        return {"files": list(self._files.items())}
+
+    def restore(self, state: dict) -> None:
+        """Restore the file table and re-derive every super's index."""
+        self._files = {pid: tuple(files) for pid, files in state["files"]}
+        self._index = {
+            int(sid): self.rebuild_index(int(sid)) for sid in self.overlay.super_ids
+        }
+
     # -- verification ------------------------------------------------------------
     def rebuild_index(self, super_id: int) -> Counter:
         """From-scratch index of one super (ground truth for tests)."""

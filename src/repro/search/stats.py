@@ -8,6 +8,7 @@ same measurement intervals ("on same success rate").
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, fields, replace
 
 __all__ = ["QueryStats", "QueryStatsSnapshot"]
@@ -102,3 +103,18 @@ class QueryStats:
         delta = self._c.minus(self._mark)
         self._mark = self._c
         return delta
+
+    # ``snapshot`` is the cumulative-counters property above, so the
+    # Snapshottable protocol uses the alternate spelling here (see
+    # repro.sim.snapshot).
+    def snapshot_state(self) -> dict:
+        """Checkpoint state: cumulative counters plus the window mark."""
+        return {
+            "counters": dataclasses.asdict(self._c),
+            "mark": dataclasses.asdict(self._mark),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace counters and window mark with :meth:`snapshot_state`."""
+        self._c = QueryStatsSnapshot(**state["counters"])
+        self._mark = QueryStatsSnapshot(**state["mark"])

@@ -9,7 +9,6 @@ clients (§5) in aggregate.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, Protocol, Union
 
 from ..overlay.topology import Overlay
@@ -62,7 +61,6 @@ class QueryWorkload:
         self.router = router
         self.stats = stats if stats is not None else QueryStats()
         self._rng = sim.rng.get("queries")
-        self._ids = itertools.count()
         self._process = RenewalProcess(
             sim,
             lambda: self._rng.exponential(1.0 / rate),
@@ -73,6 +71,23 @@ class QueryWorkload:
     def stop(self) -> None:
         """Cancel future query arrivals."""
         self._process.stop()
+
+    def snapshot(self) -> dict:
+        """Checkpoint state: accumulated stats plus the arrival process.
+
+        The query RNG stream is restored globally with the simulator's
+        streams; the catalog and router are pure functions of config and
+        overlay state.
+        """
+        return {
+            "stats": self.stats.snapshot_state(),
+            "process": self._process.snapshot(),
+        }
+
+    def restore(self, state: dict, sim: Simulator) -> None:
+        """Resume the workload exactly where the snapshot left off."""
+        self.stats.restore_state(state["stats"])
+        self._process.restore(state["process"], sim)
 
     def _random_source(self) -> Optional[int]:
         ov = self.overlay

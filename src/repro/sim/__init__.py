@@ -10,6 +10,7 @@ from .events import Event, EventKind
 from .processes import PeriodicProcess, RenewalProcess
 from .rng import RngStreams
 from .scheduler import Simulator, StopSimulation
+from .snapshot import Snapshottable, apply_snapshot, take_snapshot
 from .tracing import Tracer
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "RenewalProcess",
     "RngStreams",
     "Simulator",
+    "Snapshottable",
     "StopSimulation",
     "Tracer",
+    "apply_snapshot",
+    "take_snapshot",
 ]

@@ -74,8 +74,12 @@ class Event:
     payload:
         Arbitrary read-only data for the handler (peer ids, query ids...).
     seq:
-        Monotone tie-breaker assigned automatically; guarantees FIFO order
-        among same-time events and total ordering for ``heapq``.
+        Monotone tie-breaker; guarantees FIFO order among same-time events
+        and total ordering for ``heapq``.  :meth:`Simulator.schedule_at`
+        assigns it from a per-simulator counter (deterministic across
+        processes, so it doubles as a stable event identity in
+        checkpoints); events constructed directly fall back to a
+        module-level counter.
     cancelled:
         Lazy-cancellation flag; the scheduler skips cancelled events.
     """

@@ -9,6 +9,20 @@ Two patterns recur throughout the experiments:
   peer arrivals, where the gap to the next firing is redrawn each time.
 
 Both are expressed as small driver objects that reschedule themselves.
+
+Checkpointing notes:
+
+* Each process owns a :meth:`Simulator.next_process_token` integer and
+  stamps it into its event payloads.  Tokens are allocated in wiring
+  order, so a system re-wired from the same config gives every process
+  the same token -- which is how a restored queue's pending periodic
+  events find their owners again (``id(self)`` would be a fresh address
+  in every process/run).
+* The *next* firing is scheduled **before** the action runs.  A snapshot
+  taken from inside an action (the checkpoint writer is itself a periodic
+  process) therefore always sees its own next event already in the queue
+  with a definite seq, instead of a dangling reference to the event
+  currently being delivered.
 """
 
 from __future__ import annotations
@@ -44,10 +58,11 @@ class PeriodicProcess:
         self._action = action
         self._kind = kind
         self._stopped = False
+        self._token = sim.next_process_token()
         self._pending: Optional[Event] = None
         sim.on(kind, self._fire)
         first = sim.now + self._interval if start is None else float(start)
-        self._pending = sim.schedule_at(first, kind, {"process": id(self)})
+        self._pending = sim.schedule_at(first, kind, {"process": self._token})
 
     @property
     def interval(self) -> float:
@@ -55,13 +70,14 @@ class PeriodicProcess:
         return self._interval
 
     def _fire(self, sim: Simulator, event: Event) -> None:
-        if self._stopped or event.payload.get("process") != id(self):
+        if self._stopped or event.payload.get("process") != self._token:
             return
+        # Reschedule first: the action may snapshot the system (checkpoint
+        # writer) or stop() this process (stop cancels the event just made).
+        self._pending = sim.schedule(
+            self._interval, self._kind, {"process": self._token}
+        )
         self._action(sim, sim.now)
-        if not self._stopped:
-            self._pending = sim.schedule(
-                self._interval, self._kind, {"process": id(self)}
-            )
 
     def stop(self) -> None:
         """Cancel all future firings."""
@@ -69,6 +85,27 @@ class PeriodicProcess:
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
+
+    def snapshot(self) -> dict:
+        """Capture the recurrence state (token, stopped flag, pending seq)."""
+        return {
+            "token": self._token,
+            "stopped": self._stopped,
+            "pending": None if self._pending is None else self._pending.seq,
+        }
+
+    def restore(self, state: dict, sim: Simulator) -> None:
+        """Adopt the pending event from a restored queue by seq."""
+        if state["token"] != self._token:
+            raise ValueError(
+                f"process token mismatch: snapshot has {state['token']}, "
+                f"re-wired process got {self._token}; the restored system "
+                "was wired with a different process structure"
+            )
+        self._stopped = state["stopped"]
+        if self._pending is not None:
+            self._pending.cancel()  # the wiring-scheduled first firing
+        self._pending = sim.restored_event(state["pending"])
 
 
 class RenewalProcess:
@@ -94,20 +131,25 @@ class RenewalProcess:
         self._action = action
         self._kind = kind
         self._stopped = False
+        self._token = sim.next_process_token()
         self._pending: Optional[Event] = None
         sim.on(kind, self._fire)
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         gap = max(float(self._gap_sampler()), self._EPS)
-        self._pending = self._sim.schedule(gap, self._kind, {"process": id(self)})
+        self._pending = self._sim.schedule(
+            gap, self._kind, {"process": self._token}
+        )
 
     def _fire(self, sim: Simulator, event: Event) -> None:
-        if self._stopped or event.payload.get("process") != id(self):
+        if self._stopped or event.payload.get("process") != self._token:
             return
+        # Reschedule first (see PeriodicProcess._fire): the next gap is
+        # drawn before the action's own draws, keeping the stream's sample
+        # path well-defined at any snapshot boundary.
+        self._schedule_next()
         self._action(sim, sim.now)
-        if not self._stopped:
-            self._schedule_next()
 
     def stop(self) -> None:
         """Cancel all future firings."""
@@ -115,3 +157,24 @@ class RenewalProcess:
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
+
+    def snapshot(self) -> dict:
+        """Capture the recurrence state (token, stopped flag, pending seq)."""
+        return {
+            "token": self._token,
+            "stopped": self._stopped,
+            "pending": None if self._pending is None else self._pending.seq,
+        }
+
+    def restore(self, state: dict, sim: Simulator) -> None:
+        """Adopt the pending event from a restored queue by seq."""
+        if state["token"] != self._token:
+            raise ValueError(
+                f"process token mismatch: snapshot has {state['token']}, "
+                f"re-wired process got {self._token}; the restored system "
+                "was wired with a different process structure"
+            )
+        self._stopped = state["stopped"]
+        if self._pending is not None:
+            self._pending.cancel()
+        self._pending = sim.restored_event(state["pending"])

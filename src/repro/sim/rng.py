@@ -45,12 +45,21 @@ __all__ = ["RngStreams"]
 
 
 class RngStreams:
-    """Factory and cache of named child generators under one root seed."""
+    """Factory and cache of named child generators under one root seed.
 
-    def __init__(self, seed: int) -> None:
+    ``domain`` partitions the stream family: domain 0 (the default) keeps
+    the historical ``spawn_key=(crc32(name),)`` derivation bit-for-bit,
+    while a nonzero domain appends itself to the spawn key, yielding
+    streams statistically independent of every domain-0 stream of the same
+    seed.  Warm-start forks run under domain 1 so their post-fork draws
+    never replay the prefix's sample path.
+    """
+
+    def __init__(self, seed: int, *, domain: int = 0) -> None:
         if not isinstance(seed, (int, np.integer)):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         self._seed = int(seed)
+        self._domain = int(domain)
         self._root = np.random.SeedSequence(self._seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
@@ -59,24 +68,50 @@ class RngStreams:
         """The root seed this collection was built from."""
         return self._seed
 
+    @property
+    def domain(self) -> int:
+        """The derivation domain (0 = the historical stream family)."""
+        return self._domain
+
     def get(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
 
         The same name always maps to the same stream within one
         :class:`RngStreams` instance, and to an identically-seeded stream
-        in any other instance built from the same root seed.
+        in any other instance built from the same root seed and domain.
         """
         if not name:
             raise ValueError("stream name must be non-empty")
         gen = self._streams.get(name)
         if gen is None:
             key = zlib.crc32(name.encode("utf-8"))
+            spawn_key = (key,) if self._domain == 0 else (key, self._domain)
             child = np.random.SeedSequence(
-                entropy=self._root.entropy, spawn_key=(key,)
+                entropy=self._root.entropy, spawn_key=spawn_key
             )
             gen = np.random.default_rng(child)
             self._streams[name] = gen
         return gen
+
+    def snapshot(self) -> dict:
+        """Per-stream ``bit_generator.state`` dicts, in creation order."""
+        return {
+            name: gen.bit_generator.state
+            for name, gen in self._streams.items()
+        }
+
+    def restore(self, state: dict) -> None:
+        """Set each named stream's state in place.
+
+        Mutating ``bit_generator.state`` (rather than swapping Generator
+        objects) keeps every cached generator reference held by the wired
+        components valid.  Streams named in ``state`` but not yet created
+        by the re-wired system are instantiated first; streams the wiring
+        created that the snapshot never drew from keep their fresh
+        derivation, which is identical by construction.
+        """
+        for name, bg_state in state.items():
+            self.get(name).bit_generator.state = bg_state
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

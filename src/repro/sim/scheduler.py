@@ -61,13 +61,18 @@ class Simulator:
         Initial clock value (time units).
     """
 
-    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+    def __init__(
+        self, seed: int = 0, start: float = 0.0, *, rng_domain: int = 0
+    ) -> None:
         self.clock = SimClock(start)
-        self.rng = RngStreams(seed)
+        self.rng = RngStreams(seed, domain=rng_domain)
         self._queue: List[Tuple[float, int, Event]] = []
         self._handlers: Dict[str, List[Handler]] = {}
         self._events_processed = 0
         self._running = False
+        self._next_seq = 0
+        self._next_token = 0
+        self._restored_events: Dict[int, Event] = {}
 
     # -- introspection -----------------------------------------------------
     @property
@@ -135,13 +140,29 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time} < {self.clock._now}"
             )
+        seq = self._next_seq
+        self._next_seq = seq + 1
         ev = Event(
             time=time,
             kind=kind,
             payload=_EMPTY_PAYLOAD if payload is None else payload,
+            seq=seq,
         )
-        heappush(self._queue, (time, ev.seq, ev))
+        heappush(self._queue, (time, seq, ev))
         return ev
+
+    def next_process_token(self) -> int:
+        """Allocate a deterministic identity token for a recurring process.
+
+        Tokens are handed out in wiring order, so a system rebuilt from the
+        same config allocates the same token to each process -- which is
+        what lets a restored event queue re-associate pending periodic
+        events with their owning processes (payloads carry the token, never
+        a memory address).
+        """
+        token = self._next_token
+        self._next_token = token + 1
+        return token
 
     # -- execution -----------------------------------------------------------
     def step(self) -> Optional[Event]:
@@ -205,6 +226,82 @@ class Simulator:
             # Drained early: jump the clock to the horizon so that metric
             # timestamps computed from `now` are well defined.
             clock._now = until
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the engine state (clock, queue, counters, RNG streams).
+
+        Queue entries are serialized as plain ``(time, seq, kind, payload,
+        cancelled)`` tuples in heap-array order -- a heap array restored
+        verbatim is still a valid heap, so no re-heapify is needed on
+        :meth:`restore`.  Payloads must be plain data (ints/floats/strings
+        and dicts thereof), which every built-in subsystem honors.
+        Handler wiring is deliberately *not* captured: the composition
+        root re-derives it by re-wiring the system from config.
+        """
+        queue = [
+            (
+                t,
+                seq,
+                ev.kind,
+                dict(ev.payload) if ev.payload else None,
+                ev.cancelled,
+            )
+            for (t, seq, ev) in self._queue
+        ]
+        return {
+            "clock": self.clock._now,
+            "events_processed": self._events_processed,
+            "next_seq": self._next_seq,
+            "next_token": self._next_token,
+            "queue": queue,
+            "rng": self.rng.snapshot(),
+        }
+
+    def restore(self, state: dict, *, restore_rng: bool = True) -> None:
+        """Replace the engine state with a :meth:`snapshot`.
+
+        Any events scheduled during re-wiring (first periodic firings,
+        scenario shifts, populate bursts) are discarded wholesale: the
+        restored queue *is* the complete pending-event set.  Components
+        holding references into the queue re-link via
+        :meth:`restored_event` using the seq numbers they serialized.
+
+        With ``restore_rng=False`` the stream states are left untouched --
+        the warm-start fork path, where each fork runs on fresh streams
+        derived under a different domain (see :class:`RngStreams`).
+        """
+        self.clock._now = state["clock"]
+        self._events_processed = state["events_processed"]
+        self._next_seq = state["next_seq"]
+        self._next_token = state["next_token"]
+        queue: List[Tuple[float, int, Event]] = []
+        by_seq: Dict[int, Event] = {}
+        for t, seq, kind, payload, cancelled in state["queue"]:
+            ev = Event(
+                time=t,
+                kind=kind,
+                payload=_EMPTY_PAYLOAD if payload is None else payload,
+                seq=seq,
+                cancelled=cancelled,
+            )
+            queue.append((t, seq, ev))
+            by_seq[seq] = ev
+        self._queue = queue
+        self._restored_events = by_seq
+        if restore_rng:
+            self.rng.restore(state["rng"])
+
+    def restored_event(self, seq: Optional[int]) -> Optional[Event]:
+        """Look up a queue event by seq after :meth:`restore` (None-safe).
+
+        Raises ``KeyError`` for a seq that was not in the restored queue --
+        a component trying to adopt an event that no longer exists is a
+        checkpoint-consistency bug, not a condition to paper over.
+        """
+        if seq is None:
+            return None
+        return self._restored_events[seq]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

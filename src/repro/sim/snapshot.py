@@ -1,0 +1,69 @@
+"""The ``Snapshottable`` protocol: explicit, enumerable component state.
+
+Every stateful component in the simulation implements::
+
+    snapshot() -> state          # plain-data dict, picklable
+    restore(state[, sim]) -> None
+
+so a full ``SimulationState`` can be captured at any event boundary and
+resumed bit-identically (see ``repro.experiments.checkpoint`` for the
+composition-root capture/restore order and the on-disk format).
+
+Conventions the implementations follow:
+
+* **State is plain data** -- ints, floats, strings, bytes, and containers
+  thereof.  No live objects, no generators, no events; cross-references
+  into the event queue are serialized as the event's ``seq`` and
+  re-linked via :meth:`Simulator.restored_event`.
+* **Wiring is not state.**  Handler registration, listener lists, and
+  process tokens are re-derived by re-wiring the system from its config;
+  ``restore`` only fills in the mutable payload.  Anything derivable from
+  other state (caches, free-list pools, inverted indices, the overlay
+  aggregates) is rebuilt, not pickled.
+* **Name collisions**: two components already expose a public ``snapshot``
+  with window/marker semantics (``MessageLedger.snapshot()`` returns a
+  ``LedgerSnapshot``; ``QueryStats.snapshot`` is a property).  Those two
+  conform through ``snapshot_state()`` / ``restore_state()`` instead;
+  :func:`take_snapshot` / :func:`apply_snapshot` dispatch to whichever
+  spelling a component provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Snapshottable", "take_snapshot", "apply_snapshot"]
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """A component whose full mutable state is explicit and reconstructible."""
+
+    def snapshot(self) -> Any:
+        """Return the component's state as plain, picklable data."""
+        ...
+
+    def restore(self, state: Any, *args: Any) -> None:
+        """Replace the component's state with a prior :meth:`snapshot`."""
+        ...
+
+
+def take_snapshot(component: Any) -> Any:
+    """Capture a component's checkpoint state.
+
+    Prefers ``snapshot_state()`` (the alternate spelling used where
+    ``snapshot`` already means something else) and falls back to
+    ``snapshot()``.
+    """
+    fn = getattr(component, "snapshot_state", None)
+    if fn is None:
+        fn = component.snapshot
+    return fn()
+
+
+def apply_snapshot(component: Any, state: Any, *args: Any) -> None:
+    """Restore a component from :func:`take_snapshot` output."""
+    fn = getattr(component, "restore_state", None)
+    if fn is None:
+        fn = component.restore
+    fn(state, *args)

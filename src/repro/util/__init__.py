@@ -1,7 +1,8 @@
 """Shared utilities: O(1)-sampling sets, ASCII tables and plots."""
 
 from .ascii_plot import ascii_plot
+from .idset import IdSet
 from .indexed_set import IndexedSet
 from .tables import render_table
 
-__all__ = ["ascii_plot", "IndexedSet", "render_table"]
+__all__ = ["ascii_plot", "IdSet", "IndexedSet", "render_table"]

@@ -74,6 +74,19 @@ class IndexedSet:
         idx = rng.choice(n, size=k, replace=False)
         return [self._items[int(i)] for i in idx]
 
+    def snapshot(self) -> List[int]:
+        """The members in exact internal order (swap-remove history and all).
+
+        Order matters: :meth:`choice`/:meth:`sample` index into the list,
+        so a bit-identical restore must reproduce it element for element.
+        """
+        return list(self._items)
+
+    def restore(self, items: Sequence[int]) -> None:
+        """Replace the contents with a :meth:`snapshot`, preserving order."""
+        self._items = list(items)
+        self._index = {x: i for i, x in enumerate(self._items)}
+
     def __contains__(self, x: int) -> bool:
         return x in self._index
 

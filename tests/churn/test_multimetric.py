@@ -91,7 +91,10 @@ class TestDefaultConfiguration:
             LogNormalDistribution(median=60.0, sigma=1.0),
             default_multimetric_capacity(),
         )
-        driver.populate(500, warmup=30.0)
+        # 2000 peers -> ~135 supers: the layer-mean capacity gap
+        # concentrates enough that the assertion holds across seeds
+        # (at n=500 the ~30-member super layer makes it a coin flip).
+        driver.populate(2000, warmup=30.0)
         ctx.sim.run(until=400.0)
         ctx.overlay.check_invariants()
         # the two election goals still hold

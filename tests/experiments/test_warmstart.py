@@ -1,0 +1,119 @@
+"""Warm-start forking: shared prefix, independent futures, parity."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments.checkpoint import CheckpointError
+from repro.experiments.configs import table2_config
+from repro.experiments.sweeps import sweep_dlm_parameters
+from repro.experiments.warmstart import (
+    FORK_RNG_DOMAIN,
+    build_warm_start,
+    fork_run,
+    warm_replicate,
+)
+
+
+def small_config(**overrides):
+    base = dict(n=250, horizon=120.0, warmup=20.0, seed=11)
+    base.update(overrides)
+    return table2_config().with_(**base)
+
+
+@pytest.fixture(scope="module")
+def warm():
+    return build_warm_start(small_config(), fork_at=60.0)
+
+
+class TestBuild:
+    def test_records_fork_metadata(self, warm):
+        assert warm.fork_time == 60.0
+        assert warm.policy == "dlm"
+        assert isinstance(warm.blob, bytes)
+
+    def test_is_picklable(self, warm):
+        clone = pickle.loads(pickle.dumps(warm))
+        assert clone.blob == warm.blob and clone.config == warm.config
+
+    def test_state_returns_fresh_copies(self, warm):
+        a, b = warm.state(), warm.state()
+        assert a is not b
+        a["sim"]["clock"] = -1.0
+        assert warm.state()["sim"]["clock"] == 60.0
+
+    def test_fork_time_must_precede_horizon(self):
+        with pytest.raises(ValueError, match="fork_at"):
+            build_warm_start(small_config(), fork_at=120.0)
+
+
+class TestForkRun:
+    def test_fork_is_deterministic(self, warm):
+        a, b = fork_run(warm, seed=5), fork_run(warm, seed=5)
+        for name in a.series.names():
+            assert np.array_equal(a.series[name].values, b.series[name].values)
+
+    def test_seeds_share_prefix_but_diverge_after_fork(self, warm):
+        a, b = fork_run(warm, seed=5), fork_run(warm, seed=6)
+        ratio_a, ratio_b = a.series["ratio"], b.series["ratio"]
+        pre = ratio_a.times <= warm.fork_time
+        assert np.array_equal(ratio_a.values[pre], ratio_b.values[pre])
+        post = ratio_a.times > warm.fork_time
+        assert not np.array_equal(ratio_a.values[post], ratio_b.values[post])
+
+    def test_fork_runs_in_fork_rng_domain(self, warm):
+        result = fork_run(warm, seed=5)
+        assert result.ctx.sim.rng.domain == FORK_RNG_DOMAIN
+
+    def test_horizon_override(self, warm):
+        result = fork_run(warm, seed=5, horizon=80.0)
+        assert result.ctx.sim.now == 80.0
+
+    def test_horizon_before_fork_rejected(self, warm):
+        with pytest.raises(CheckpointError, match="fork time"):
+            fork_run(warm, horizon=30.0)
+
+    def test_dlm_override_steers_the_suffix(self, warm):
+        base_dlm = warm.config.dlm_config()
+        loose = dataclasses.replace(base_dlm, eta=10.0)
+        a = fork_run(warm, seed=5)
+        b = fork_run(warm, seed=5, dlm=loose)
+        # A 4x tighter target ratio must visibly change the suffix.
+        assert a.series["ratio"].values[-1] != b.series["ratio"].values[-1]
+
+
+class TestWarmReplicate:
+    def test_serial_parallel_parity(self, warm):
+        serial = warm_replicate(warm, seeds=(1, 2, 3), n_workers=1)
+        par = warm_replicate(warm, seeds=(1, 2, 3), n_workers=3)
+        assert serial.metrics == par.metrics
+
+    def test_aggregates_over_seeds(self, warm):
+        result = warm_replicate(warm, seeds=(1, 2, 3), n_workers=1)
+        assert result.seeds == (1, 2, 3)
+        assert result.metrics["tail_ratio"].n == 3
+
+    def test_empty_seed_set_rejected(self, warm):
+        with pytest.raises(ValueError, match="seed"):
+            warm_replicate(warm, seeds=())
+
+
+class TestWarmSweep:
+    def test_matches_parallel_and_orders_points(self):
+        cfg = small_config()
+        grid = {"alpha": [1.0, 2.0]}
+        serial = sweep_dlm_parameters(
+            grid, config=cfg, n_workers=1, warm_start_at=60.0
+        )
+        par = sweep_dlm_parameters(
+            grid, config=cfg, n_workers=2, warm_start_at=60.0
+        )
+        assert serial.points == par.points
+        assert [p.params for p in serial.points] == [
+            {"alpha": 1.0},
+            {"alpha": 2.0},
+        ]

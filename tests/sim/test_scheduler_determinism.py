@@ -1,0 +1,178 @@
+"""Scheduler determinism edges: tie-breaks, cancellation, restore order.
+
+The checkpoint plane's bit-identical-resume guarantee reduces to three
+engine properties: same-timestamp events deliver in scheduling (FIFO)
+order, lazy cancellation never perturbs that order, and a snapshotted
+queue restores to the exact same delivery sequence -- cancelled entries,
+tie-breaks, and all.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.sim.scheduler import Simulator
+
+
+def _delivery_order(sim: Simulator) -> list:
+    """Run the sim to exhaustion recording (kind, time) per delivery."""
+    order = []
+
+    def recorder(s, e):
+        order.append((e.kind, e.time))
+
+    for kind in {ev.kind for ev in sim.queued_events()}:
+        sim.on(kind, recorder)
+    sim.run()
+    return order
+
+
+class TestSameTimestampFifo:
+    def test_schedule_order_is_delivery_order(self):
+        sim = Simulator(seed=0)
+        for i in range(20):
+            sim.schedule_at(5.0, f"k{i}")
+        assert _delivery_order(sim) == [(f"k{i}", 5.0) for i in range(20)]
+
+    def test_fifo_across_interleaved_times(self):
+        sim = Simulator(seed=0)
+        sim.schedule_at(2.0, "b1")
+        sim.schedule_at(1.0, "a1")
+        sim.schedule_at(2.0, "b2")
+        sim.schedule_at(1.0, "a2")
+        assert _delivery_order(sim) == [
+            ("a1", 1.0),
+            ("a2", 1.0),
+            ("b1", 2.0),
+            ("b2", 2.0),
+        ]
+
+    def test_zero_delay_events_fire_after_current_in_order(self):
+        sim = Simulator(seed=0)
+        fired = []
+
+        def outer(s, e):
+            fired.append("outer")
+            s.schedule(0.0, "inner_a")
+            s.schedule(0.0, "inner_b")
+
+        sim.on("outer", outer)
+        sim.on("inner_a", lambda s, e: fired.append("inner_a"))
+        sim.on("inner_b", lambda s, e: fired.append("inner_b"))
+        sim.schedule_at(1.0, "outer")
+        sim.run()
+        assert fired == ["outer", "inner_a", "inner_b"]
+
+    def test_seq_is_per_simulator(self):
+        a = Simulator(seed=0)
+        b = Simulator(seed=1)
+        ea = [a.schedule_at(1.0, "x") for _ in range(3)]
+        eb = [b.schedule_at(1.0, "x") for _ in range(3)]
+        # Two simulators allocate identical seq sequences: determinism
+        # cannot depend on how many simulators the process created first.
+        assert [e.seq for e in ea] == [e.seq for e in eb] == [0, 1, 2]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        sim = Simulator(seed=0)
+        sim.schedule_at(1.0, "keep")
+        victim = sim.schedule_at(1.0, "cancel_me")
+        sim.schedule_at(1.0, "keep")
+        victim.cancel()
+        assert [k for k, _ in _delivery_order(sim)] == ["keep", "keep"]
+
+    def test_cancel_does_not_disturb_fifo_of_survivors(self):
+        sim = Simulator(seed=0)
+        events = [sim.schedule_at(3.0, f"e{i}") for i in range(10)]
+        for ev in events[::2]:
+            ev.cancel()
+        assert [k for k, _ in _delivery_order(sim)] == [
+            f"e{i}" for i in range(1, 10, 2)
+        ]
+
+    def test_cancel_during_run_of_later_event(self):
+        sim = Simulator(seed=0)
+        later = sim.schedule_at(2.0, "later")
+        sim.on("first", lambda s, e: later.cancel())
+        sim.schedule_at(1.0, "first")
+        delivered = []
+        sim.on("later", lambda s, e: delivered.append(e))
+        sim.run()
+        assert delivered == []
+        assert sim.pending == 0
+
+
+class TestSnapshotRestoreOrder:
+    def _mixed_queue_sim(self) -> Simulator:
+        sim = Simulator(seed=42)
+        for i in range(8):
+            sim.schedule_at(1.0 + (i % 3), f"k{i}")
+        victims = [sim.schedule_at(2.0, f"c{i}") for i in range(3)]
+        for v in victims:
+            v.cancel()
+        return sim
+
+    def test_restored_queue_delivers_identically(self):
+        ref = self._mixed_queue_sim()
+        snap = self._mixed_queue_sim().snapshot()
+        # Round-trip through pickle: restore must not rely on object
+        # identity surviving.
+        fresh = Simulator(seed=42)
+        fresh.restore(pickle.loads(pickle.dumps(snap)))
+        assert _delivery_order(fresh) == _delivery_order(ref)
+
+    def test_restore_preserves_counters_and_clock(self):
+        sim = self._mixed_queue_sim()
+        sim.on("k0", lambda s, e: None)
+        sim.run(max_events=2)
+        snap = sim.snapshot()
+        fresh = Simulator(seed=42)
+        fresh.restore(snap)
+        assert fresh.now == sim.now
+        assert fresh.events_processed == sim.events_processed
+        assert fresh._next_seq == sim._next_seq
+        # New events scheduled post-restore continue the seq sequence --
+        # they must sort after every restored same-time event.
+        ev = fresh.schedule_at(2.0, "post")
+        assert ev.seq == snap["next_seq"]
+
+    def test_restore_preserves_cancelled_flags(self):
+        sim = self._mixed_queue_sim()
+        snap = sim.snapshot()
+        fresh = Simulator(seed=42)
+        fresh.restore(snap)
+        cancelled = sorted(e.kind for e in fresh.queued_events() if e.cancelled)
+        assert cancelled == ["c0", "c1", "c2"]
+
+    def test_restored_event_lookup(self):
+        sim = Simulator(seed=0)
+        ev = sim.schedule_at(4.0, "x")
+        fresh = Simulator(seed=0)
+        fresh.restore(sim.snapshot())
+        adopted = fresh.restored_event(ev.seq)
+        assert adopted.kind == "x" and adopted.time == 4.0
+        assert fresh.restored_event(None) is None
+
+    def test_restored_event_missing_seq_raises(self):
+        sim = Simulator(seed=0)
+        sim.schedule_at(4.0, "x")
+        fresh = Simulator(seed=0)
+        fresh.restore(sim.snapshot())
+        try:
+            fresh.restored_event(999)
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError for unknown seq")
+
+    def test_rng_streams_round_trip(self):
+        sim = Simulator(seed=7)
+        g = sim.rng.get("demo")
+        g.random(10)
+        snap = sim.snapshot()
+        expected = g.random(5).tolist()
+        fresh = Simulator(seed=7)
+        fresh.rng.get("demo")  # create the stream before restoring it
+        fresh.restore(snap)
+        assert fresh.rng.get("demo").random(5).tolist() == expected

@@ -18,12 +18,13 @@ def record_mod():
     return mod
 
 
-def _rec(events, queries, quick=True, sim_events=20_000):
+def _rec(events, queries, quick=True, sim_events=20_000, speedup=1.5):
     return {
         "quick": quick,
         "scheduler": {"events_per_sec": events},
         "flooding": {"queries_per_sec": queries},
         "largescale": {"events_per_sec": sim_events},
+        "warmstart": {"speedup": speedup},
     }
 
 
@@ -86,3 +87,53 @@ class TestParallelSkip:
         assert result["skipped"] is True
         assert result["workers"] == 1
         assert "spurious" in result["reason"]
+
+
+class TestLatestBaseline:
+    """Baseline selection goes by embedded date, not filename order."""
+
+    def test_empty_dir_returns_none(self, record_mod, tmp_path):
+        assert record_mod.latest_baseline(tmp_path) is None
+
+    def test_picks_latest_embedded_date(self, record_mod, tmp_path):
+        # Filenames sort AGAINST the dates: lexicographic pick would be
+        # wrong here.
+        (tmp_path / "BENCH_z_old.json").write_text('{"date": "2025-01-01"}')
+        (tmp_path / "BENCH_a_new.json").write_text('{"date": "2026-06-01"}')
+        assert record_mod.latest_baseline(tmp_path) == str(
+            tmp_path / "BENCH_a_new.json"
+        )
+
+    def test_skips_unreadable_and_dateless(self, record_mod, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_nodate.json").write_text('{"quick": true}')
+        (tmp_path / "BENCH_good.json").write_text('{"date": "2026-01-01"}')
+        assert record_mod.latest_baseline(tmp_path) == str(
+            tmp_path / "BENCH_good.json"
+        )
+
+    def test_date_tie_breaks_on_commit_time(self, record_mod, tmp_path, monkeypatch):
+        (tmp_path / "BENCH_a.json").write_text('{"date": "2026-01-01"}')
+        (tmp_path / "BENCH_b.json").write_text('{"date": "2026-01-01"}')
+        times = {"BENCH_a.json": 200, "BENCH_b.json": 100}
+        monkeypatch.setattr(
+            record_mod, "_git_commit_time", lambda p: times[p.name]
+        )
+        assert record_mod.latest_baseline(tmp_path) == str(
+            tmp_path / "BENCH_a.json"
+        )
+
+    def test_cli_flag_prints_path(self, record_mod, capsys, monkeypatch):
+        monkeypatch.setattr(
+            record_mod, "latest_baseline", lambda: "/x/BENCH_1.json"
+        )
+        assert record_mod.main(["--latest-baseline"]) == 0
+        assert capsys.readouterr().out.strip() == "/x/BENCH_1.json"
+
+    def test_cli_flag_empty_when_no_records(self, record_mod, capsys, monkeypatch):
+        monkeypatch.setattr(record_mod, "latest_baseline", lambda: None)
+        assert record_mod.main(["--latest-baseline"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_warmstart_speedup_is_gated(self, record_mod):
+        assert ("warmstart", "speedup") in record_mod.THROUGHPUT_METRICS
