@@ -62,6 +62,7 @@ from repro.experiments.sweeps import sweep_dlm_parameters  # noqa: E402
 from repro.experiments.table3 import run_table3  # noqa: E402
 from repro.search.flooding import FloodRouter  # noqa: E402
 from repro.sim.scheduler import Simulator  # noqa: E402
+from repro.telemetry import TelemetryConfig  # noqa: E402
 
 
 def bench_scheduler(n_events: int, passes: int = 3) -> dict:
@@ -275,6 +276,55 @@ def bench_warmstart(quick: bool) -> dict:
     }
 
 
+def bench_telemetry(quick: bool) -> dict:
+    """Telemetry enabled vs disabled on the figure6 workload.
+
+    Two best-of-2 end-to-end runs of the same config: one with the
+    plane disabled (the NULL_TELEMETRY default every figure harness
+    uses) and one with a full audit log plus spans.  Records both walls
+    and the enabled-mode overhead so the "zero-overhead when disabled"
+    claim stays checkable -- the disabled wall is also what the
+    scheduler/flooding gates see, since those sections never enable
+    telemetry.
+    """
+    cfg = bench_config()
+    if quick:
+        cfg = cfg.with_(n=400, horizon=150.0, warmup=30.0)
+
+    def best_wall(c):
+        best, result = math.inf, None
+        for _ in range(2):
+            started = time.perf_counter()
+            result = run_experiment(c)
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    disabled_s, _ = best_wall(cfg)
+    enabled_s, run = best_wall(cfg.with_(telemetry=TelemetryConfig()))
+    telemetry = run.telemetry
+    return {
+        "n": cfg.n,
+        "horizon": cfg.horizon,
+        "disabled_wall_s": round(disabled_s, 3),
+        "enabled_wall_s": round(enabled_s, 3),
+        "enabled_overhead_pct": round(100.0 * (enabled_s - disabled_s) / disabled_s, 1),
+        "audit_records": telemetry.log.total_emitted,
+        "audit_retained": len(telemetry.log),
+        "verdicts": dict(sorted(telemetry.audit.verdict_counts.items())),
+    }
+
+
+#: Every recordable section, in run order (``--sections`` subsets this).
+SECTIONS = (
+    "scheduler",
+    "flooding",
+    "harness",
+    "largescale",
+    "parallel",
+    "warmstart",
+    "telemetry",
+)
+
 #: Throughput metrics gated by ``--compare`` (higher is better).
 THROUGHPUT_METRICS = (
     ("scheduler", "events_per_sec"),
@@ -398,6 +448,15 @@ def main(argv=None) -> int:
         "(by embedded date, git commit-time tie-break) and exit; "
         "prints nothing when no record exists",
     )
+    parser.add_argument(
+        "--sections",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated subset of sections to run (default: all); "
+        f"choices: {','.join(SECTIONS)}.  Metrics for skipped sections "
+        "are absent from the record, so --compare warns instead of "
+        "gating on them",
+    )
     args = parser.parse_args(argv)
 
     if args.latest_baseline:
@@ -405,6 +464,17 @@ def main(argv=None) -> int:
         if base:
             print(base)
         return 0
+
+    if args.sections is None:
+        selected = set(SECTIONS)
+    else:
+        selected = {s.strip() for s in args.sections.split(",") if s.strip()}
+        unknown = selected - set(SECTIONS)
+        if unknown:
+            parser.error(
+                f"unknown sections: {', '.join(sorted(unknown))} "
+                f"(choices: {', '.join(SECTIONS)})"
+            )
 
     record = {
         "date": date.today().isoformat(),
@@ -415,51 +485,68 @@ def main(argv=None) -> int:
         "quick": args.quick,
     }
 
-    print("scheduler micro-benchmark...", flush=True)
-    record["scheduler"] = bench_scheduler(20_000 if args.quick else 100_000)
-    print(f"  {record['scheduler']['events_per_sec']:,} events/sec")
+    if "scheduler" in selected:
+        print("scheduler micro-benchmark...", flush=True)
+        record["scheduler"] = bench_scheduler(20_000 if args.quick else 100_000)
+        print(f"  {record['scheduler']['events_per_sec']:,} events/sec")
 
-    print("flooding micro-benchmark...", flush=True)
-    record["flooding"] = bench_flooding(
-        n=600 if args.quick else 2_000,
-        horizon=150.0 if args.quick else 300.0,
-        n_queries=500 if args.quick else 2_000,
-    )
-    print(f"  {record['flooding']['queries_per_sec']:,} queries/sec")
+    if "flooding" in selected:
+        print("flooding micro-benchmark...", flush=True)
+        record["flooding"] = bench_flooding(
+            n=600 if args.quick else 2_000,
+            horizon=150.0 if args.quick else 300.0,
+            n_queries=500 if args.quick else 2_000,
+        )
+        print(f"  {record['flooding']['queries_per_sec']:,} queries/sec")
 
-    print("harness wall times...", flush=True)
-    record["harness_wall_s"] = bench_harnesses(args.quick)
-    for name, wall in record["harness_wall_s"].items():
-        print(f"  {name}: {wall}s")
+    if "harness" in selected:
+        print("harness wall times...", flush=True)
+        record["harness_wall_s"] = bench_harnesses(args.quick)
+        for name, wall in record["harness_wall_s"].items():
+            print(f"  {name}: {wall}s")
 
-    print("large-scale churned run...", flush=True)
-    record["largescale"] = bench_largescale(args.quick)
-    ls = record["largescale"]
-    print(
-        f"  n={ls['n']:,}: {ls['wall_s']}s, {ls['events']:,} events "
-        f"({ls['events_per_sec']:,}/s), {ls['peak_rss_mb']} MB peak rss"
-    )
-
-    print("parallel replicate (serial vs all-cores)...", flush=True)
-    record["parallel_replicate"] = bench_parallel(args.quick)
-    pr = record["parallel_replicate"]
-    if pr.get("skipped"):
-        print(f"  skipped: {pr['reason']}")
-    else:
+    if "largescale" in selected:
+        print("large-scale churned run...", flush=True)
+        record["largescale"] = bench_largescale(args.quick)
+        ls = record["largescale"]
         print(
-            f"  {pr['workers']} worker(s): {pr['serial_wall_s']}s serial, "
-            f"{pr['parallel_wall_s']}s parallel ({pr['speedup']}x), "
-            f"identical={pr['identical_metrics']}"
+            f"  n={ls['n']:,}: {ls['wall_s']}s, {ls['events']:,} events "
+            f"({ls['events_per_sec']:,}/s), {ls['peak_rss_mb']} MB peak rss"
         )
 
-    print("warm-start sweep forking (cold vs warm)...", flush=True)
-    record["warmstart"] = bench_warmstart(args.quick)
-    ws = record["warmstart"]
-    print(
-        f"  {ws['points']} points: {ws['cold_wall_s']}s cold, "
-        f"{ws['warm_wall_s']}s warm ({ws['speedup']}x), "
-        f"parity={ws['serial_parallel_identical']}"
-    )
+    if "parallel" in selected:
+        print("parallel replicate (serial vs all-cores)...", flush=True)
+        record["parallel_replicate"] = bench_parallel(args.quick)
+        pr = record["parallel_replicate"]
+        if pr.get("skipped"):
+            print(f"  skipped: {pr['reason']}")
+        else:
+            print(
+                f"  {pr['workers']} worker(s): {pr['serial_wall_s']}s serial, "
+                f"{pr['parallel_wall_s']}s parallel ({pr['speedup']}x), "
+                f"identical={pr['identical_metrics']}"
+            )
+
+    if "warmstart" in selected:
+        print("warm-start sweep forking (cold vs warm)...", flush=True)
+        record["warmstart"] = bench_warmstart(args.quick)
+        ws = record["warmstart"]
+        print(
+            f"  {ws['points']} points: {ws['cold_wall_s']}s cold, "
+            f"{ws['warm_wall_s']}s warm ({ws['speedup']}x), "
+            f"parity={ws['serial_parallel_identical']}"
+        )
+
+    if "telemetry" in selected:
+        print("telemetry overhead (disabled vs enabled)...", flush=True)
+        record["telemetry"] = bench_telemetry(args.quick)
+        tl = record["telemetry"]
+        print(
+            f"  figure6 n={tl['n']}: {tl['disabled_wall_s']}s disabled, "
+            f"{tl['enabled_wall_s']}s enabled "
+            f"({tl['enabled_overhead_pct']:+.1f}%), "
+            f"{tl['audit_records']:,} audit records"
+        )
 
     out = Path(args.out) if args.out else ROOT / f"BENCH_{record['date']}.json"
     out.write_text(json.dumps(record, indent=2) + "\n")

@@ -13,7 +13,9 @@ discrete-event super-peer overlay simulator built for the purpose:
 * :mod:`repro.search` -- content model, super-peer indexes, flooding;
 * :mod:`repro.metrics` -- layer statistics, PAO/NLCO ledger, summaries;
 * :mod:`repro.experiments` -- one harness per paper table/figure;
-* :mod:`repro.analysis` -- graph statistics and equation validation.
+* :mod:`repro.analysis` -- graph statistics and equation validation;
+* :mod:`repro.telemetry` -- metrics registry, span timing, DLM decision
+  audit log, and trace export (zero-overhead when disabled).
 
 Quickstart::
 
@@ -31,6 +33,7 @@ from .experiments import (
     run_experiment,
     table2_config,
 )
+from .telemetry import Telemetry, TelemetryConfig
 
 __version__ = "1.0.0"
 
@@ -45,6 +48,8 @@ __all__ = [
     "run_experiment",
     "table2_config",
     "quick_network",
+    "Telemetry",
+    "TelemetryConfig",
     "__version__",
 ]
 

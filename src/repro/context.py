@@ -35,6 +35,7 @@ from .protocol.knowledge import (
 )
 from .protocol.transport import InfoExchange
 from .sim.scheduler import Simulator
+from .telemetry.plane import NULL_TELEMETRY
 
 __all__ = ["SystemContext", "build_context"]
 
@@ -54,6 +55,9 @@ class SystemContext:
     m: int
     k_s: int
     faults: Optional[FaultPlan] = None
+    # The observation plane; NULL_TELEMETRY is the allocation-free
+    # disabled mode, so un-instrumented wiring pays nothing.
+    telemetry: object = NULL_TELEMETRY
 
     @property
     def now(self) -> float:
@@ -70,6 +74,7 @@ def build_context(
     sim: Optional[Simulator] = None,
     faults: Optional[FaultPlan] = None,
     rng_domain: int = 0,
+    telemetry=None,
 ) -> SystemContext:
     """Standard wiring of a fresh system (Table-2 degree parameters).
 
@@ -91,8 +96,14 @@ def build_context(
         RNG stream namespace (see :class:`~repro.sim.rng.RngStreams`);
         nonzero domains give warm-start forks fresh randomness that
         never collides with the checkpointed prefix's streams.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` plane, or ``None`` for
+        the shared disabled singleton.
     """
     sim = sim if sim is not None else Simulator(seed=seed, rng_domain=rng_domain)
+    if telemetry is None:
+        telemetry = NULL_TELEMETRY
+    telemetry.bind_sim(sim)
     overlay = Overlay()
     join = JoinProcedure(overlay, m, sim.rng.get("bootstrap"), k_s=k_s)
     maintenance = Maintenance(overlay, join, m=m, k_s=k_s)
@@ -115,4 +126,5 @@ def build_context(
         m=m,
         k_s=k_s,
         faults=faults,
+        telemetry=telemetry,
     )

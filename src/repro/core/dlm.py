@@ -79,6 +79,10 @@ class DLMPolicy(LayerPolicy):
         self._last_eval: dict = {}
         self._sweep: Optional[PeriodicProcess] = None
         self._eval_sweep: Optional[PeriodicProcess] = None
+        # Telemetry handles, cached at install time so the hot path pays
+        # one attribute load + None check when the plane is disabled.
+        self._audit = None
+        self._span = None
         # Run counters (consumed by reports and tests).
         self.evaluations = 0
         self.promotions = 0
@@ -89,6 +93,10 @@ class DLMPolicy(LayerPolicy):
     # -- wiring --------------------------------------------------------------
     def _install(self, ctx: SystemContext) -> None:
         self._executor = TransitionExecutor(ctx, min_supers=self.config.min_supers)
+        # NULL_TELEMETRY exposes audit=None, so disabled runs reduce every
+        # audit hook below to a single `is not None` branch.
+        self._audit = ctx.telemetry.audit
+        self._span = ctx.telemetry.span
         ctx.overlay.add_connection_listener(self._on_connection)
         ctx.sim.on(EventKind.DLM_EVALUATE, self._on_evaluate_event)
         if self.config.event_driven:
@@ -154,12 +162,13 @@ class DLMPolicy(LayerPolicy):
         corresponding traffic) and re-evaluates everyone.
         """
         ctx = self.ctx
-        for pid in list(ctx.overlay.leaf_ids):
-            ctx.info.refresh_leaf(pid)
-            self.request_evaluation(pid)
-        for pid in list(ctx.overlay.super_ids):
-            ctx.info.refresh_super(pid)
-            self.request_evaluation(pid)
+        with self._span("dlm.periodic_sweep"):
+            for pid in list(ctx.overlay.leaf_ids):
+                ctx.info.refresh_leaf(pid)
+                self.request_evaluation(pid)
+            for pid in list(ctx.overlay.super_ids):
+                ctx.info.refresh_super(pid)
+                self.request_evaluation(pid)
 
     def _evaluation_sweep(self, sim, now: float) -> None:
         """Local re-evaluation of a random population slice (no messages).
@@ -172,10 +181,11 @@ class DLMPolicy(LayerPolicy):
         rng = ctx.sim.rng.get("dlm-sweep")
         n_leaf = max(1, len(ctx.overlay.leaf_ids) // self._SWEEP_SLICES)
         n_super = max(1, len(ctx.overlay.super_ids) // self._SWEEP_SLICES)
-        for pid in ctx.overlay.leaf_ids.sample(rng, n_leaf):
-            self.evaluate(pid)
-        for pid in ctx.overlay.super_ids.sample(rng, n_super):
-            self.evaluate(pid)
+        with self._span("dlm.eval_sweep"):
+            for pid in ctx.overlay.leaf_ids.sample(rng, n_leaf):
+                self.evaluate(pid)
+            for pid in ctx.overlay.super_ids.sample(rng, n_super):
+                self.evaluate(pid)
 
     # -- phases 2-4: evaluation --------------------------------------------
     def evaluate(self, pid: int) -> Optional[Decision]:
@@ -200,16 +210,52 @@ class DLMPolicy(LayerPolicy):
         else:
             decision = self._evaluate_leaf(peer, now)
         if decision is not None:
+            audit = self._audit
+            if audit is not None:
+                y, params = decision.y, decision.params
+                audit.record_decision(
+                    now,
+                    pid,
+                    "super" if peer.is_super else "leaf",
+                    decision.action.value,
+                    mu=params.mu,
+                    g_size=y.g_size,
+                    y_capa=y.y_capa,
+                    y_age=y.y_age,
+                    x_capa=params.x_capa,
+                    x_age=params.x_age,
+                    z_promote=params.z_promote,
+                    z_demote=params.z_demote,
+                )
             self._act(peer, decision)
         return decision
 
-    def _defer(self, peer: Peer) -> None:
+    def _defer(
+        self,
+        peer: Peer,
+        reason: str,
+        *,
+        g_size: Optional[int] = None,
+        missing: Optional[int] = None,
+    ) -> None:
         """Phase-1 knowledge is incomplete: refresh instead of acting.
 
         The exchange's completion listener re-triggers the evaluation
         when the requested responses arrive (or permanently fail).
+        ``reason`` names what was missing (audit-log vocabulary:
+        ``missing_members`` / ``no_mu`` / ``unobserved_leaves``).
         """
         self.deferrals += 1
+        audit = self._audit
+        if audit is not None:
+            audit.record_defer(
+                self.ctx.now,
+                peer.pid,
+                "super" if peer.is_super else "leaf",
+                reason,
+                g_size=g_size,
+                missing=missing,
+            )
         self.ctx.info.ensure_fresh(peer.pid)
 
     def _evaluate_leaf(self, peer: Peer, now: float) -> Optional[Decision]:
@@ -221,13 +267,18 @@ class DLMPolicy(LayerPolicy):
         )
         if len(view) < self.config.min_related_set:
             if view.missing:
-                self._defer(peer)
+                self._defer(
+                    peer,
+                    "missing_members",
+                    g_size=len(view),
+                    missing=view.missing,
+                )
             return None
         mu = self.estimator.mu_for_leaf(view)
         if mu is None:
             # Members are observed but no l_nn has been delivered yet
             # (message-driven mode only): never fabricate a ratio.
-            self._defer(peer)
+            self._defer(peer, "no_mu", g_size=len(view), missing=view.missing)
             return None
         params = self.scaler.adapt(mu)
         y = compare_against(
@@ -254,7 +305,12 @@ class DLMPolicy(LayerPolicy):
             if y is None or y.g_size < self.config.min_related_set:
                 # Enough leaf links, too few *observed* leaves
                 # (message-driven mode only): refresh and retry.
-                self._defer(peer)
+                self._defer(
+                    peer,
+                    "unobserved_leaves",
+                    g_size=0 if y is None else y.g_size,
+                    missing=_missing,
+                )
                 return None
             return decide(Role.SUPER, y, params)
         # Too few leaves for a comparison (|G(s)| = l_nn here); fall
@@ -264,8 +320,12 @@ class DLMPolicy(LayerPolicy):
             and ctx.sim.rng.get("dlm-forced").random() < self.config.force_demote_prob
         ):
             self.forced_demotions += 1
-            if self._executor.demote(peer.pid):
+            executed = self._executor.demote(peer.pid)
+            if executed:
                 self.demotions += 1
+            audit = self._audit
+            if audit is not None:
+                audit.record_forced_demotion(now, peer.pid, mu=mu, executed=executed)
         return None
 
     def _act(self, peer: Peer, decision: Decision) -> None:

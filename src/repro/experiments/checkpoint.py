@@ -58,7 +58,7 @@ SCHEMA_VERSION = 1
 #: from the compatibility hash: the run's label, how far it runs, and
 #: where/how often checkpoints are written.
 _HASH_EXCLUDED_FIELDS = frozenset(
-    {"name", "horizon", "checkpoint_every", "checkpoint_path"}
+    {"name", "horizon", "checkpoint_every", "checkpoint_path", "telemetry"}
 )
 
 
@@ -108,6 +108,7 @@ def capture_run_state(result) -> dict:
             if result.checkpoint_process is None
             else result.checkpoint_process.snapshot()
         ),
+        "telemetry": ctx.telemetry.snapshot(),
     }
     return state
 
@@ -142,6 +143,10 @@ def restore_run_state(result, state: dict, *, restore_rng: bool = True) -> None:
         result.directory.restore(state["directory"])
     if result.checkpoint_process is not None and state["checkpoint_process"]:
         result.checkpoint_process.restore(state["checkpoint_process"], sim)
+    # Absent in pre-telemetry checkpoints; restore() itself tolerates a
+    # disabled-mode snapshot (fresh buffers) and a disabled plane ignores
+    # everything, so every old/new combination resumes cleanly.
+    ctx.telemetry.restore(state.get("telemetry"))
 
 
 class CheckpointManager:
@@ -221,13 +226,18 @@ def resume_run(
     *,
     horizon: Optional[float] = None,
     policy_factory=None,
+    telemetry=None,
 ):
     """Rebuild the checkpointed system and run it to the horizon.
 
     The checkpoint's own config drives the wiring (optionally with a
     longer ``horizon``); the policy is reconstructed by
     ``policy_factory`` (default: the runner's) and must match the name
-    recorded at capture time.
+    recorded at capture time.  ``telemetry`` overrides the checkpointed
+    telemetry settings -- it is hash-excluded, so a run checkpointed
+    without telemetry can be resumed with it (and vice versa); when the
+    checkpoint carries telemetry state the resumed plane continues its
+    record stream seamlessly.
     """
     # Runner imports this module for the periodic writer; import lazily
     # to keep the module graph acyclic at import time.
@@ -242,6 +252,8 @@ def resume_run(
                 f"{payload['header']['time']}"
             )
         config = config.with_(horizon=horizon)
+    if telemetry is not None:
+        config = config.with_(telemetry=telemetry)
     CheckpointManager.validate(payload, config)
     return run_experiment(
         config,

@@ -3,22 +3,55 @@
 Runs any registered paper artifact at bench scale (default), full paper
 scale (``--full``), or a custom size, and prints the rendered figure or
 table plus the shape metrics recorded in EXPERIMENTS.md.
+
+``repro trace <run.jsonl>`` and ``repro stats <run.jsonl>`` inspect a
+run's exported telemetry (see :mod:`repro.telemetry.cli`); the
+``--telemetry`` / ``--audit-jsonl`` / ``--chrome-trace`` / ``--progress``
+flags produce those artifacts in the first place.
+
+Status and diagnostics go through :mod:`logging` (one root config on
+stderr, ``-v``/``--quiet`` to adjust); rendered figures and tables stay
+on stdout where they can be piped.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 import time
 from typing import Optional, Sequence
 
+from ..telemetry.config import AUDIT_LEVELS, TelemetryConfig
 from .configs import bench_config, largescale_config, table2_config
 from .parallel import WORKERS_ENV
 from .registry import all_ids, get_experiment
 from .table3 import PAPER_SIZES, run_table3
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "configure_logging"]
+
+logger = logging.getLogger("repro.cli")
+
+#: Subcommands dispatched to the telemetry CLI before argparse runs.
+_TELEMETRY_COMMANDS = ("trace", "stats")
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """One root logging config for the CLI: message-only lines on stderr.
+
+    ``verbosity`` < 0 shows warnings and errors only, 0 adds progress
+    and status lines (INFO), > 0 adds debug detail.
+    """
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logging.basicConfig(
+        level=level, stream=sys.stderr, format="%(message)s", force=True
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,12 +140,102 @@ def build_parser() -> argparse.ArgumentParser:
         "(or --horizon); resumption is bit-identical to the "
         "uninterrupted run",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry",
+        "observe the run (metrics, span timing, DLM audit log); "
+        "disabled -- and zero-overhead -- unless one of these is given",
+    )
+    telemetry.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry plane with default settings",
+    )
+    telemetry.add_argument(
+        "--audit-jsonl",
+        metavar="PATH",
+        default=None,
+        help="export the run's records + metrics + spans as JSONL to "
+        "PATH (readable by 'repro trace' / 'repro stats'; implies "
+        "--telemetry)",
+    )
+    telemetry.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="export span timing as Chrome-trace/Perfetto JSON to PATH "
+        "(implies --telemetry)",
+    )
+    telemetry.add_argument(
+        "--progress",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log live progress (events/s, horizon %%, ETA) every "
+        "SECONDS of wall time (implies --telemetry)",
+    )
+    telemetry.add_argument(
+        "--audit-level",
+        choices=AUDIT_LEVELS,
+        default=None,
+        help="DLM audit detail: 'full' records every decision, "
+        "'actions' skips no-ops, 'off' disables the audit log "
+        "(default: full; implies --telemetry)",
+    )
+    telemetry.add_argument(
+        "--transport-trace",
+        action="store_true",
+        help="also record Phase-1 request lifecycle stages (implies "
+        "--telemetry; message-driven runs only produce stages)",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="show debug-level diagnostics on stderr",
+    )
+    verbosity.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only show warnings and errors on stderr",
+    )
     return parser
+
+
+def _telemetry_config(args) -> Optional[TelemetryConfig]:
+    """The run's TelemetryConfig, or None when no flag asked for one."""
+    if not (
+        args.telemetry
+        or args.audit_jsonl is not None
+        or args.chrome_trace is not None
+        or args.progress is not None
+        or args.audit_level is not None
+        or args.transport_trace
+    ):
+        return None
+    return TelemetryConfig(
+        audit_level=args.audit_level if args.audit_level is not None else "full",
+        jsonl_path=args.audit_jsonl,
+        chrome_trace_path=args.chrome_trace,
+        progress_every=args.progress,
+        transport_trace=args.transport_trace,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] in _TELEMETRY_COMMANDS:
+        # `repro trace <run.jsonl> ...` / `repro stats <run.jsonl> ...`
+        # operate on exported files, not experiments: hand the whole
+        # command line to the telemetry CLI.
+        from ..telemetry.cli import main as telemetry_main
+
+        configure_logging()
+        return telemetry_main(argv)
     args = build_parser().parse_args(argv)
+    configure_logging(1 if args.verbose else (-1 if args.quiet else 0))
 
     if args.workers is not None:
         # Harnesses resolve REPRO_WORKERS themselves (see .parallel), so
@@ -123,8 +246,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.resume is not None:
         return _resume(args)
     if args.experiment is None:
-        print("error: an experiment id is required unless --resume is given",
-              file=sys.stderr)
+        logger.error("error: an experiment id is required unless --resume is given")
         return 2
 
     if args.experiment == "list":
@@ -162,13 +284,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.checkpoint_every is not None:
         if args.checkpoint_path is None:
-            print("error: --checkpoint-every requires --checkpoint-path",
-                  file=sys.stderr)
+            logger.error("error: --checkpoint-every requires --checkpoint-path")
             return 2
         cfg = cfg.with_(
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=args.checkpoint_path,
         )
+    telemetry_cfg = _telemetry_config(args)
+    if telemetry_cfg is not None:
+        cfg = cfg.with_(telemetry=telemetry_cfg)
 
     started = time.perf_counter()
     if args.experiment == "table3" and args.n is None:
@@ -191,7 +315,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {key}: {value}")
     if args.save:
         _save_artifacts(args.save, args.experiment, rendered, shape)
-    print(f"\n[{args.experiment} completed in {elapsed:.1f}s]", file=sys.stderr)
+    if telemetry_cfg is not None:
+        outputs = (("jsonl_path", "telemetry"), ("chrome_trace_path", "trace"))
+        for attr, label in outputs:
+            path = getattr(telemetry_cfg, attr)
+            if path:
+                logger.info("%s written to %s", label, path)
+    logger.info("[%s completed in %.1fs]", args.experiment, elapsed)
     return 0
 
 
@@ -202,9 +332,11 @@ def _resume(args) -> int:
     started = time.perf_counter()
     try:
         header = CheckpointManager.load(args.resume)["header"]
-        result = resume_run(args.resume, horizon=args.horizon)
+        result = resume_run(
+            args.resume, horizon=args.horizon, telemetry=_telemetry_config(args)
+        )
     except CheckpointError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("error: %s", exc)
         return 1
     elapsed = time.perf_counter() - started
     overlay = result.overlay
@@ -217,7 +349,7 @@ def _resume(args) -> int:
         f"ratio: {overlay.layer_size_ratio():.2f}  "
         f"joins: {result.driver.joins}  deaths: {result.driver.deaths}"
     )
-    print(f"\n[resume completed in {elapsed:.1f}s]", file=sys.stderr)
+    logger.info("[resume completed in %.1fs]", elapsed)
     return 0
 
 

@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..core.config import DLMConfig
 from ..protocol.faults import FaultPlan
+from ..telemetry.config import TelemetryConfig
 
 __all__ = [
     "ExperimentConfig",
@@ -84,6 +85,10 @@ class ExperimentConfig:
     #: Where the periodic writer puts its checkpoint (required with
     #: ``checkpoint_every``); also excluded from the config hash.
     checkpoint_path: Optional[str] = None
+    #: Telemetry plane settings (None: disabled, the zero-overhead
+    #: default).  Telemetry observes without perturbing the trajectory,
+    #: so this too is excluded from the checkpoint-compat config hash.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.n < 2:

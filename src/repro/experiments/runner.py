@@ -28,6 +28,13 @@ from ..search.flooding import FloodRouter
 from ..search.index import ContentDirectory
 from ..search.workload import QueryWorkload
 from ..sim.processes import PeriodicProcess
+from ..telemetry import (
+    ProgressReporter,
+    attach_transport_trace,
+    bind_standard_producers,
+    export_run,
+    telemetry_from_config,
+)
 from .checkpoint import CheckpointManager, restore_run_state
 from .configs import ExperimentConfig
 
@@ -61,6 +68,11 @@ class RunResult:
     def query_stats(self):
         """Cumulative query snapshot (None without a search plane)."""
         return self.workload.stats.snapshot if self.workload else None
+
+    @property
+    def telemetry(self):
+        """The run's telemetry plane (NULL_TELEMETRY when disabled)."""
+        return self.ctx.telemetry
 
 
 def default_policy_factory(config: ExperimentConfig) -> LayerPolicy:
@@ -101,15 +113,20 @@ def run_experiment(
     streams *out*: the wired system draws from the given RNG domain
     instead, so forked futures are independent of the prefix's draws.
     """
+    telemetry = telemetry_from_config(config.telemetry)
+    wire_span = telemetry.span("run.wire")
+    wire_span.__enter__()
     ctx = build_context(
         seed=config.seed,
         m=config.m,
         k_s=config.k_s,
         faults=config.faults,
         rng_domain=fresh_rng_domain if fresh_rng_domain is not None else 0,
+        telemetry=telemetry,
     )
     policy = policy_factory(config)
     policy.bind(ctx)
+    attach_transport_trace(telemetry, ctx.info)
 
     maintenance_process = PeriodicProcess(
         ctx.sim,
@@ -122,8 +139,10 @@ def run_experiment(
     driver = ChurnDriver(
         ctx, policy, lifetimes, capacities, replacement=True, scenario=scenario
     )
+    wire_span.__exit__(None, None, None)
     if resume_from is None:
-        driver.populate(config.n, warmup=config.warmup)
+        with telemetry.span("run.populate"):
+            driver.populate(config.n, warmup=config.warmup)
 
     sampler = LayerStatsSampler(
         ctx.sim,
@@ -149,6 +168,9 @@ def run_experiment(
         workload = QueryWorkload(
             ctx.sim, ctx.overlay, catalog, router, rate=sc.query_rate
         )
+    bind_standard_producers(
+        telemetry, ctx, driver=driver, policy=policy, workload=workload
+    )
 
     result = RunResult(
         config=config,
@@ -181,5 +203,19 @@ def run_experiment(
         )
 
     if run:
-        ctx.sim.run(until=config.horizon)
+        reporter = None
+        if telemetry.enabled and telemetry.config.progress_every is not None:
+            reporter = ProgressReporter(
+                ctx.sim,
+                horizon=config.horizon,
+                every=telemetry.config.progress_every,
+                label=config.name,
+            ).attach()
+        try:
+            with telemetry.span("run.execute"):
+                ctx.sim.run(until=config.horizon)
+        finally:
+            if reporter is not None:
+                reporter.detach()
+        export_run(result)
     return result

@@ -185,6 +185,16 @@ class InfoExchange:
         """Call ``fn(stage, now, info)`` on request lifecycle events."""
         self._trace_listeners.append(fn)
 
+    def remove_trace_listener(self, fn: TraceListener) -> None:
+        """Detach a trace listener added with :meth:`add_trace_listener`.
+
+        Raises ``ValueError`` if the listener was not attached.
+        """
+        try:
+            self._trace_listeners.remove(fn)
+        except ValueError:
+            raise ValueError("trace listener not attached") from None
+
     def _trace(self, stage: str, info: Mapping[str, object]) -> None:
         if self._trace_listeners:
             now = self.sim.now if self.sim is not None else 0.0

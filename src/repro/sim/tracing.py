@@ -10,14 +10,23 @@ request lifecycle: it attaches to
 :meth:`~repro.protocol.transport.InfoExchange.add_trace_listener` and
 records every ``sent`` / ``retried`` / ``dropped`` / ``timed_out`` /
 ``satisfied`` / ``failed`` stage with its request metadata, keeping
-exact per-stage counts plus a bounded ring of full records.
+exact per-stage counts plus a bounded ring of full records.  Storage is
+the telemetry plane's ``transport`` record schema
+(:data:`repro.telemetry.records.SCHEMAS`), so a standalone tracer and a
+run-wide JSONL export describe the same stage with the same fields.
+
+Both tracers detach cleanly: ``close()`` (or leaving their ``with``
+block) removes every listener they registered, so a scoped trace does
+not keep firing -- and keep the simulator/exchange alive -- after its
+consumer is done.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
-from typing import Deque, Iterable, Mapping, Optional, Tuple
+from collections import Counter
+from typing import Iterable, Mapping, Optional, Tuple
 
+from ..telemetry.records import SCHEMAS, RecordLog
 from .events import Event
 from .scheduler import Simulator
 
@@ -38,6 +47,9 @@ class Tracer:
     capacity:
         If given, only the most recent ``capacity`` records are kept
         (a bounded ring); counts are always exact.
+
+    Use as a context manager (or call :meth:`close`) to detach the
+    handlers when done; records stay readable after detaching.
     """
 
     def __init__(
@@ -46,24 +58,46 @@ class Tracer:
         kinds: Iterable[str],
         capacity: Optional[int] = None,
     ) -> None:
-        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._log = RecordLog(capacity=capacity)
         self.counts: Counter = Counter()
         self._kinds = tuple(kinds)
+        self._sim: Optional[Simulator] = sim
         for kind in self._kinds:
             sim.on(kind, self._record)
 
     def _record(self, sim: Simulator, event: Event) -> None:
         self.counts[event.kind] += 1
-        self._records.append((sim.now, event.kind, dict(event.payload)))
+        self._log.emit(event.kind, sim.now, (dict(event.payload),))
 
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """Whether the tracer's handlers are still registered."""
+        return self._sim is not None
+
+    def close(self) -> None:
+        """Detach every handler this tracer registered (idempotent)."""
+        if self._sim is None:
+            return
+        for kind in self._kinds:
+            self._sim.off(kind, self._record)
+        self._sim = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- querying ------------------------------------------------------------
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
         """All retained records, oldest first."""
-        return tuple(self._records)
+        return tuple((t, kind, values[0]) for _, t, kind, values in self._log)
 
     def of_kind(self, kind: str) -> Tuple[TraceRecord, ...]:
         """Retained records filtered to one kind."""
-        return tuple(r for r in self._records if r[1] == kind)
+        return tuple(r for r in self.records if r[1] == kind)
 
     def total(self, kind: Optional[str] = None) -> int:
         """Exact count of recorded events (of one kind, or overall)."""
@@ -73,7 +107,11 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop retained records (counts are kept)."""
-        self._records.clear()
+        self._log.clear()
+
+
+#: ``transport`` schema fields that follow the stage name.
+_TRANSPORT_FIELDS = SCHEMAS["transport"][1:]
 
 
 class TransportTracer:
@@ -86,28 +124,87 @@ class TransportTracer:
     capacity:
         If given, only the most recent ``capacity`` records are kept
         (a bounded ring); per-stage counts are always exact.
+    log:
+        An existing :class:`~repro.telemetry.records.RecordLog` to emit
+        into (the run-wide telemetry log, for example) instead of a
+        private one.
+
+    Use as a context manager (or call :meth:`close`) to detach from the
+    exchange when done; records stay readable after detaching.
     """
 
     #: Every stage the exchange can report, in lifecycle order.
     STAGES = ("sent", "retried", "dropped", "timed_out", "satisfied", "failed")
 
-    def __init__(self, info, capacity: Optional[int] = None) -> None:
-        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+    def __init__(
+        self,
+        info,
+        capacity: Optional[int] = None,
+        *,
+        log: Optional[RecordLog] = None,
+    ) -> None:
+        self._log = log if log is not None else RecordLog(capacity=capacity)
         self.counts: Counter = Counter()
+        self._info = info
         info.add_trace_listener(self._record)
 
     def _record(self, stage: str, now: float, data: Mapping[str, object]) -> None:
         self.counts[stage] += 1
-        self._records.append((now, stage, dict(data)))
+        self._log.emit(
+            "transport",
+            now,
+            (
+                stage,
+                data.get("rid"),
+                data.get("requester"),
+                data.get("responder"),
+                data.get("kind"),
+                data.get("attempt"),
+                data.get("leg"),
+            ),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """Whether the tracer is still listening on the exchange."""
+        return self._info is not None
+
+    def close(self) -> None:
+        """Detach from the exchange (idempotent)."""
+        if self._info is None:
+            return
+        self._info.remove_trace_listener(self._record)
+        self._info = None
+
+    def __enter__(self) -> "TransportTracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- querying ------------------------------------------------------------
+    @staticmethod
+    def _as_trace_record(record) -> TraceRecord:
+        _, t, _, values = record
+        stage = values[0]
+        data = {
+            # The listener payload's "kind" field lands in the schema's
+            # "req" slot; map it back so consumers see the original keys.
+            ("kind" if name == "req" else name): value
+            for name, value in zip(_TRANSPORT_FIELDS, values[1:])
+            if value is not None
+        }
+        return (t, stage, data)
 
     @property
     def records(self) -> Tuple[TraceRecord, ...]:
         """All retained records, oldest first."""
-        return tuple(self._records)
+        return tuple(map(self._as_trace_record, self._log.records("transport")))
 
     def of_stage(self, stage: str) -> Tuple[TraceRecord, ...]:
         """Retained records filtered to one lifecycle stage."""
-        return tuple(r for r in self._records if r[1] == stage)
+        return tuple(r for r in self.records if r[1] == stage)
 
     def total(self, stage: Optional[str] = None) -> int:
         """Exact count of recorded stages (of one stage, or overall)."""
@@ -117,4 +214,4 @@ class TransportTracer:
 
     def clear(self) -> None:
         """Drop retained records (counts are kept)."""
-        self._records.clear()
+        self._log.clear()

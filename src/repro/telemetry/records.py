@@ -1,0 +1,249 @@
+"""The deterministic structured-record stream and the DLM audit log.
+
+One :class:`RecordLog` per run holds every structured record the run
+emits -- DLM decision audits, transport lifecycle stages -- in **scheduler
+order** under one global sequence number.  Records are plain data keyed
+by a per-kind schema and carry only simulation-derived fields: simulated
+time, peer ids, metric values.  No wall-clock, no memory addresses --
+two runs of the same config produce bit-identical record streams, which
+is what the serial/parallel and checkpoint-resume golden tests assert.
+
+Records are stored compactly as ``(seq, t, kind, values)`` tuples whose
+``values`` follow :data:`SCHEMAS`; :func:`record_as_dict` re-inflates
+one for export (``None`` fields are dropped, so a defer record does not
+carry thirteen nulls).
+
+The :class:`AuditLog` is the decision-level consumer: every DLM
+promotion/demotion evaluation that reaches the decision rule lands here
+with the full evidence -- µ, the related-set size, the per-metric scaled
+comparison (Y values, X scale factors, Z thresholds), the verdict, and
+the defer reason when Phase-1 knowledge was missing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, Optional, Tuple
+
+__all__ = ["RecordLog", "AuditLog", "SCHEMAS", "record_as_dict"]
+
+#: Field order of each record kind's ``values`` tuple.
+SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    "audit": (
+        "pid",
+        "role",
+        "verdict",
+        "reason",
+        "mu",
+        "g_size",
+        "missing",
+        "y_capa",
+        "y_age",
+        "x_capa",
+        "x_age",
+        "z_promote",
+        "z_demote",
+    ),
+    "transport": (
+        "stage",
+        "rid",
+        "requester",
+        "responder",
+        "req",
+        "attempt",
+        "leg",
+    ),
+}
+
+Record = Tuple[int, float, str, tuple]
+
+
+def record_as_dict(record: Record) -> dict:
+    """One record as a flat dict (schema-zipped, ``None`` fields dropped)."""
+    seq, t, kind, values = record
+    out = {"seq": seq, "t": t, "kind": kind}
+    fields = SCHEMAS.get(kind)
+    if fields is None:
+        out["values"] = list(values)
+        return out
+    for name, value in zip(fields, values):
+        if value is not None:
+            out[name] = value
+    return out
+
+
+class RecordLog:
+    """Ordered structured records under one global sequence number.
+
+    ``capacity`` bounds retention (newest records win); evictions are
+    counted exactly in :attr:`dropped` so a bounded log is still honest
+    about its coverage.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: Deque[Record] = deque(maxlen=capacity)
+        self._next_seq = 0
+        self.dropped = 0
+
+    def emit(self, kind: str, t: float, values: tuple) -> None:
+        """Append one record (fields per ``SCHEMAS[kind]``)."""
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
+        records.append((self._next_seq, t, kind, values))
+        self._next_seq += 1
+
+    # -- querying ----------------------------------------------------------
+    @property
+    def total_emitted(self) -> int:
+        """Records ever emitted (retained + dropped)."""
+        return self._next_seq
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def records(self, kind: Optional[str] = None) -> Tuple[Record, ...]:
+        """Retained records, oldest first, optionally filtered by kind."""
+        if kind is None:
+            return tuple(self._records)
+        return tuple(r for r in self._records if r[2] == kind)
+
+    def dicts(self, kind: Optional[str] = None) -> list:
+        """Retained records as export-shaped dicts."""
+        return [record_as_dict(r) for r in self.records(kind)]
+
+    def clear(self) -> None:
+        """Drop retained records (the sequence number keeps counting)."""
+        self._records.clear()
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "next_seq": self._next_seq,
+            "dropped": self.dropped,
+            "records": [list(r[:3]) + [list(r[3])] for r in self._records],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._next_seq = state["next_seq"]
+        self.dropped = state["dropped"]
+        self._records.clear()
+        for seq, t, kind, values in state["records"]:
+            self._records.append((seq, t, kind, tuple(values)))
+
+
+class AuditLog:
+    """DLM decision records in the shared stream, plus exact tallies.
+
+    ``level`` is the :class:`~repro.telemetry.config.TelemetryConfig`
+    audit level: ``"full"`` records ``none`` verdicts too, ``"actions"``
+    drops them (the verdict *tallies* stay exact at every level).
+    """
+
+    #: Verdict vocabulary (`decide` actions plus the non-decision outcomes).
+    VERDICTS = ("promote", "demote", "none", "defer", "force_demote")
+
+    def __init__(self, log: RecordLog, *, level: str = "full") -> None:
+        self._log = log
+        self.level = level
+        self.verdict_counts: Dict[str, int] = {}
+
+    def _tally(self, verdict: str) -> None:
+        counts = self.verdict_counts
+        counts[verdict] = counts.get(verdict, 0) + 1
+
+    def record_decision(
+        self,
+        t: float,
+        pid: int,
+        role: str,
+        verdict: str,
+        *,
+        mu: float,
+        g_size: int,
+        y_capa: float,
+        y_age: float,
+        x_capa: float,
+        x_age: float,
+        z_promote: float,
+        z_demote: float,
+    ) -> None:
+        """One evaluation that reached the Phase-4 decision rule."""
+        self._tally(verdict)
+        if verdict == "none" and self.level != "full":
+            return
+        self._log.emit(
+            "audit",
+            t,
+            (
+                pid,
+                role,
+                verdict,
+                None,
+                mu,
+                g_size,
+                None,
+                y_capa,
+                y_age,
+                x_capa,
+                x_age,
+                z_promote,
+                z_demote,
+            ),
+        )
+
+    def record_defer(
+        self,
+        t: float,
+        pid: int,
+        role: str,
+        reason: str,
+        *,
+        g_size: Optional[int] = None,
+        missing: Optional[int] = None,
+    ) -> None:
+        """An evaluation deferred for missing Phase-1 knowledge."""
+        self._tally("defer")
+        self._log.emit(
+            "audit",
+            t,
+            (pid, role, "defer", reason, None, g_size, missing) + (None,) * 6,
+        )
+
+    def record_forced_demotion(
+        self, t: float, pid: int, *, mu: float, executed: bool
+    ) -> None:
+        """The ratio-only forced-demotion rule fired for a super-peer."""
+        self._tally("force_demote")
+        self._log.emit(
+            "audit",
+            t,
+            (
+                pid,
+                "super",
+                "force_demote",
+                "executed" if executed else "floor_blocked",
+                mu,
+            )
+            + (None,) * 8,
+        )
+
+    # -- querying ----------------------------------------------------------
+    def records(self) -> Tuple[Record, ...]:
+        """Retained audit records, oldest first."""
+        return self._log.records("audit")
+
+    def dicts(self) -> list:
+        """Retained audit records as export-shaped dicts."""
+        return self._log.dicts("audit")
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Tallies only: the records live in the shared log's snapshot."""
+        return {"level": self.level, "verdicts": dict(self.verdict_counts)}
+
+    def restore(self, state: dict) -> None:
+        self.verdict_counts = dict(state["verdicts"])

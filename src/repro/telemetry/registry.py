@@ -1,0 +1,228 @@
+"""The run-wide metrics registry: one queryable namespace.
+
+Planes expose their counters through a :class:`MetricsRegistry` in one
+of two ways:
+
+* **Owned instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) -- created and mutated by telemetry-aware code
+  (the audit log's verdict tallies, for example).  Owned instruments
+  are part of the checkpointable state.
+* **Bound producers** -- zero-cost views onto counters a plane already
+  keeps (``sim.events_processed``, the message ledger's per-type
+  tallies, the DLM policy's run counters).  A producer is a callable
+  evaluated at :meth:`collect` time, so binding one adds *nothing* to
+  the plane's hot path; producers are wiring, re-derived on restore
+  like every listener.
+
+Names are dotted paths (``plane.metric``); :meth:`collect` returns the
+whole namespace sorted by name, which is what the JSONL exporter and
+``repro stats`` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (last bucket is +inf).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 1000)
+
+Producer = Callable[[], Union[int, float]]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value, set by the owner."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Bucketed observations with exact count/sum/min/max."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last: > bounds[-1]
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        """Plain-data view (what :meth:`MetricsRegistry.collect` emits)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count if self.count else None,
+            "buckets": {
+                **{f"le_{b:g}": c for b, c in zip(self.buckets, self.counts)},
+                "inf": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus bound producers, one flat namespace."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._producers: Dict[str, Producer] = {}
+
+    # -- registration ------------------------------------------------------
+    def _check_free(self, name: str, *, owned_ok: Optional[dict] = None) -> None:
+        for table in (
+            self._counters,
+            self._gauges,
+            self._histograms,
+            self._producers,
+        ):
+            if table is owned_ok:
+                continue
+            if name in table:
+                raise ValueError(f"metric name {name!r} is already registered")
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, owned_ok=self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, owned_ok=self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, owned_ok=self._histograms)
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    def bind(self, name: str, producer: Producer) -> None:
+        """Bind a read-only producer under ``name``.
+
+        Rebinding the same name replaces the producer (re-wiring after a
+        checkpoint restore binds the same names again); colliding with
+        an owned instrument is an error.
+        """
+        self._check_free(name, owned_ok=self._producers)
+        self._producers[name] = producer
+
+    def names(self) -> List[str]:
+        """Every registered name, sorted."""
+        return sorted(
+            [
+                *self._counters,
+                *self._gauges,
+                *self._histograms,
+                *self._producers,
+            ]
+        )
+
+    # -- querying ----------------------------------------------------------
+    def collect(self) -> Dict[str, object]:
+        """Evaluate the whole namespace now, sorted by name."""
+        out: Dict[str, object] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            out[name] = h.to_dict()
+        for name, fn in self._producers.items():
+            out[name] = fn()
+        return dict(sorted(out.items()))
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Owned instruments only; producers are wiring, not state."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Recreate the owned instruments; bound producers are untouched."""
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        for name, value in state["counters"].items():
+            self.counter(name).value = value
+        for name, value in state["gauges"].items():
+            self.gauge(name).value = value
+        for name, h_state in state["histograms"].items():
+            h = self.histogram(name, h_state["buckets"])
+            h.counts = list(h_state["counts"])
+            h.count = h_state["count"]
+            h.sum = h_state["sum"]
+            h.min = h_state["min"]
+            h.max = h_state["max"]

@@ -1,0 +1,142 @@
+"""Span-based phase timing.
+
+``with telemetry.span("run.execute"):`` times a named phase and
+attributes to it both wall time and the number of simulator events
+delivered inside it (when a simulator is bound).  Two artifacts come
+out:
+
+* **Aggregates** -- per span name: call count, total wall seconds,
+  total events.  Cheap, unbounded-safe, surfaced by ``repro stats`` and
+  the JSONL export's trailing ``spans`` line.
+* **Intervals** -- a bounded ring of (name, start, duration, depth)
+  tuples in wall-clock microseconds since the timer's origin, exported
+  as Chrome-trace/Perfetto ``X`` events for flame-chart viewing.
+
+Wall time is *performance* data: it never enters record identity (the
+deterministic record stream carries no span data), so span timing can
+stay on in reproducibility-sensitive runs without perturbing them.
+Spans nest; the current nesting depth is recorded so the trace viewer
+can lay overlapping phases out on separate tracks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["SpanTimer", "Span"]
+
+#: Retained interval cap (the aggregates are always exact).
+DEFAULT_INTERVAL_CAPACITY = 20_000
+
+
+class Span:
+    """One active (or reusable) timing scope.  Use via ``with``."""
+
+    __slots__ = ("_timer", "name", "_t0", "_events0", "_depth")
+
+    def __init__(self, timer: "SpanTimer", name: str) -> None:
+        self._timer = timer
+        self.name = name
+        self._t0 = 0.0
+        self._events0 = 0
+        self._depth = 0
+
+    def __enter__(self) -> "Span":
+        timer = self._timer
+        self._depth = timer._depth
+        timer._depth += 1
+        sim = timer._sim
+        self._events0 = sim.events_processed if sim is not None else 0
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.perf_counter()
+        timer = self._timer
+        timer._depth -= 1
+        sim = timer._sim
+        events = (sim.events_processed - self._events0) if sim is not None else 0
+        timer._finish(self.name, self._t0, t1 - self._t0, events, self._depth)
+
+
+class _NullSpan:
+    """Shared no-op scope: the disabled-mode fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanTimer:
+    """Collects span aggregates and a bounded interval ring."""
+
+    def __init__(self, interval_capacity: int = DEFAULT_INTERVAL_CAPACITY) -> None:
+        # name -> [calls, wall_s, events]
+        self._aggregates: Dict[str, List[float]] = {}
+        self._intervals: Deque[Tuple[str, float, float, int]] = deque(
+            maxlen=interval_capacity
+        )
+        self._origin = time.perf_counter()
+        self._sim = None
+        self._depth = 0
+
+    def bind_sim(self, sim) -> None:
+        """Attribute event counts to spans from ``sim.events_processed``."""
+        self._sim = sim
+
+    def span(self, name: str) -> Span:
+        """A fresh timing scope for ``name`` (enter it with ``with``)."""
+        return Span(self, name)
+
+    def _finish(
+        self, name: str, t0: float, duration: float, events: int, depth: int
+    ) -> None:
+        agg = self._aggregates.get(name)
+        if agg is None:
+            agg = self._aggregates[name] = [0, 0.0, 0]
+        agg[0] += 1
+        agg[1] += duration
+        agg[2] += events
+        self._intervals.append((name, t0 - self._origin, duration, depth))
+
+    # -- querying ----------------------------------------------------------
+    def aggregates(self) -> Dict[str, dict]:
+        """Per-name totals, sorted by total wall time (descending)."""
+        return {
+            name: {
+                "calls": int(calls),
+                "wall_s": round(wall, 6),
+                "events": int(events),
+            }
+            for name, (calls, wall, events) in sorted(
+                self._aggregates.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+
+    def intervals(self) -> Tuple[Tuple[str, float, float, int], ...]:
+        """Retained (name, start_s, duration_s, depth) tuples, oldest first."""
+        return tuple(self._intervals)
+
+    def total(self, name: str) -> Optional[dict]:
+        """Aggregate for one span name, or None if it never fired."""
+        return self.aggregates().get(name)
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Aggregates only: intervals are process-local wall-clock data
+        with no meaning in another process."""
+        return {"aggregates": {n: list(v) for n, v in self._aggregates.items()}}
+
+    def restore(self, state: dict) -> None:
+        """Continue accumulating on top of the snapshot's totals."""
+        self._aggregates = {n: list(v) for n, v in state["aggregates"].items()}
+        self._intervals.clear()

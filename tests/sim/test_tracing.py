@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from repro.sim.tracing import Tracer
+import pytest
+
+from repro.sim.tracing import Tracer, TransportTracer
+from repro.telemetry.records import RecordLog
 
 
 class TestTracer:
@@ -53,3 +56,93 @@ class TestTracer:
         tracer.clear()
         assert tracer.records == ()
         assert tracer.total("a") == 1
+
+
+class TestTracerLifecycle:
+    def test_close_detaches_handlers(self, sim):
+        tracer = Tracer(sim, ["a"])
+        sim.schedule_at(1.0, "a")
+        sim.run()
+        assert tracer.attached
+        tracer.close()
+        assert not tracer.attached
+        sim.schedule_at(2.0, "a")
+        sim.run()
+        assert tracer.total("a") == 1  # nothing after close
+        assert tracer.records[0][1] == "a"  # records stay readable
+        tracer.close()  # idempotent
+
+    def test_context_manager_detaches_on_exit(self, sim):
+        with Tracer(sim, ["a"]) as tracer:
+            sim.schedule_at(1.0, "a")
+            sim.run()
+        assert not tracer.attached
+        sim.schedule_at(2.0, "a")
+        sim.run()
+        assert tracer.total("a") == 1
+
+
+class _FakeExchange:
+    """Just the listener registry slice of InfoExchange."""
+
+    def __init__(self) -> None:
+        self._listeners = []
+
+    def add_trace_listener(self, fn):
+        self._listeners.append(fn)
+
+    def remove_trace_listener(self, fn):
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            raise ValueError("trace listener not attached") from None
+
+    def fire(self, stage, now, data):
+        for fn in list(self._listeners):
+            fn(stage, now, data)
+
+
+class TestTransportTracerLifecycle:
+    def test_close_detaches_from_exchange(self):
+        info = _FakeExchange()
+        tracer = TransportTracer(info)
+        info.fire("sent", 1.0, {"rid": 1, "requester": 2, "responder": 3})
+        tracer.close()
+        info.fire("sent", 2.0, {"rid": 2, "requester": 2, "responder": 3})
+        assert tracer.total("sent") == 1
+        t, stage, data = tracer.records[0]
+        assert (t, stage) == (1.0, "sent")
+        assert data == {"rid": 1, "requester": 2, "responder": 3}
+        tracer.close()  # idempotent
+        assert not tracer.attached
+
+    def test_context_manager_detaches_on_exit(self):
+        info = _FakeExchange()
+        with TransportTracer(info) as tracer:
+            info.fire("retried", 1.0, {"rid": 1, "attempt": 2})
+        assert not info._listeners
+        assert tracer.of_stage("retried")[0][2]["attempt"] == 2
+
+    def test_double_remove_raises(self):
+        info = _FakeExchange()
+        tracer = TransportTracer(info)
+        tracer.close()
+        with pytest.raises(ValueError):
+            info.remove_trace_listener(tracer._record)
+
+    def test_shared_log_receives_transport_records(self):
+        log = RecordLog()
+        info = _FakeExchange()
+        tracer = TransportTracer(info, log=log)
+        info.fire(
+            "satisfied",
+            4.5,
+            {"rid": 7, "requester": 1, "responder": 9, "kind": "mu"},
+        )
+        (record,) = log.records("transport")
+        seq, t, kind, values = record
+        assert (t, kind) == (4.5, "transport")
+        assert values[0] == "satisfied" and values[1] == 7
+        # The tracer's own view maps schema slots back to payload keys.
+        assert tracer.records[0][2]["kind"] == "mu"
+        tracer.close()

@@ -1,0 +1,131 @@
+"""Golden determinism: the audit stream is a pure function of (config, seed).
+
+Three guarantees, asserted bit-exactly on a message-driven (faults-mode)
+run -- the mode with in-flight requests, retries, and timeouts, where
+accidental nondeterminism would show first:
+
+* enabling telemetry does not perturb the simulated trajectory;
+* serial and parallel execution produce identical audit records;
+* a checkpointed + resumed run continues the identical record stream.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.experiments.checkpoint import capture_run_state
+from repro.experiments.configs import table2_config
+from repro.experiments.parallel import parallel_map
+from repro.experiments.runner import run_experiment
+from repro.protocol.faults import FaultPlan
+from repro.telemetry import TelemetryConfig
+
+_GOLDEN_FAULTS = FaultPlan(
+    loss_rate=0.05, latency_scale=0.5, timeout=2.0, max_retries=2
+)
+
+
+def _golden_config(seed=11):
+    return table2_config().with_(
+        name="golden",
+        n=250,
+        horizon=120.0,
+        warmup=20.0,
+        seed=seed,
+        faults=_GOLDEN_FAULTS,
+        telemetry=TelemetryConfig(transport_trace=True),
+    )
+
+
+def _audit_payload(result):
+    """Everything the golden comparisons assert on, as plain data."""
+    tel = result.telemetry
+    return {
+        "records": tel.log.dicts(),
+        "verdicts": dict(tel.audit.verdict_counts),
+        "events": result.ctx.sim.events_processed,
+    }
+
+
+def _strip(dicts):
+    """Drop the ring-position ``seq`` field for content comparisons."""
+    return [{k: v for k, v in d.items() if k != "seq"} for d in dicts]
+
+
+def _run_seed(seed):
+    """parallel_map worker: one faults-mode run's audit payload."""
+    return _audit_payload(run_experiment(_golden_config(seed)))
+
+
+class TestTelemetryDoesNotPerturb:
+    def test_trajectory_identical_with_and_without_telemetry(self):
+        with_tel = run_experiment(_golden_config())
+        without = run_experiment(_golden_config().with_(telemetry=None))
+        assert with_tel.ctx.sim.events_processed == without.ctx.sim.events_processed
+        assert with_tel.overlay.n_super == without.overlay.n_super
+        assert with_tel.overlay.total_promotions == without.overlay.total_promotions
+        assert (
+            with_tel.ctx.messages.snapshot_state()
+            == without.ctx.messages.snapshot_state()
+        )
+
+    def test_same_config_same_records(self):
+        a = _audit_payload(run_experiment(_golden_config()))
+        b = _audit_payload(run_experiment(_golden_config()))
+        assert a == b
+
+    def test_audit_level_changes_records_not_trajectory(self):
+        tcfg = TelemetryConfig(audit_level="actions", transport_trace=True)
+        full = run_experiment(_golden_config())
+        actions = run_experiment(_golden_config().with_(telemetry=tcfg))
+        assert full.ctx.sim.events_processed == actions.ctx.sim.events_processed
+        # Tallies agree exactly even though "none" records are dropped.
+        assert (
+            full.telemetry.audit.verdict_counts
+            == actions.telemetry.audit.verdict_counts
+        )
+        full_dicts = full.telemetry.log.dicts("audit")
+        full_actions = [d for d in full_dicts if d["verdict"] != "none"]
+        recorded = actions.telemetry.log.dicts("audit")
+        assert _strip(full_actions) == _strip(recorded)
+
+
+class TestSerialParallelParity:
+    def test_audit_records_identical_across_executors(self):
+        seeds = [11, 12]
+        serial = parallel_map(_run_seed, seeds, n_workers=1)
+        parallel = parallel_map(_run_seed, seeds, n_workers=2)
+        assert serial == parallel
+        assert all(run["records"] for run in serial)
+
+
+class TestCheckpointResumeParity:
+    def test_resumed_run_continues_the_record_stream(self):
+        cfg = _golden_config()
+        reference = run_experiment(cfg)
+
+        half = run_experiment(cfg, run=False)
+        half.ctx.sim.run(until=cfg.horizon / 2)
+        state = pickle.loads(pickle.dumps(capture_run_state(half)))
+        assert state["telemetry"]["enabled"]
+        resumed = run_experiment(cfg, resume_from={"state": state})
+
+        assert _audit_payload(resumed) == _audit_payload(reference)
+
+    def test_checkpointed_without_telemetry_resumes_with_it(self):
+        cfg = _golden_config().with_(telemetry=None)
+        half = run_experiment(cfg, run=False)
+        half.ctx.sim.run(until=cfg.horizon / 2)
+        state = pickle.loads(pickle.dumps(capture_run_state(half)))
+        assert state["telemetry"] == {"enabled": False}
+
+        resumed = run_experiment(_golden_config(), resume_from={"state": state})
+        reference = run_experiment(_golden_config())
+        # The trajectory is identical; the record stream honestly starts
+        # at the resume point (pre-checkpoint decisions were never seen).
+        assert resumed.ctx.sim.events_processed == reference.ctx.sim.events_processed
+        resumed_records = resumed.telemetry.log.dicts("audit")
+        assert resumed_records
+        reference_records = reference.telemetry.log.dicts("audit")
+        tail = [d for d in reference_records if d["t"] > cfg.horizon / 2]
+        assert _strip(resumed_records) == _strip(tail)

@@ -1,0 +1,96 @@
+"""ProgressReporter: cadence, non-perturbation, attach/detach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventKind
+from repro.sim.scheduler import Simulator
+from repro.telemetry.progress import ProgressReporter
+
+
+class FakeClock:
+    """A controllable wall clock (advances only when told to)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.step = 0.0
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def _sim_with_samples(n: int, spacing: float = 1.0) -> Simulator:
+    sim = Simulator(seed=0)
+    sim.on(EventKind.METRICS_SAMPLE, lambda s, e: None)
+    for i in range(1, n + 1):
+        sim.schedule_at(i * spacing, EventKind.METRICS_SAMPLE)
+    return sim
+
+
+class TestCadence:
+    def test_reports_at_wall_clock_cadence(self):
+        sim = _sim_with_samples(10)
+        clock = FakeClock()
+        reporter = ProgressReporter(sim, horizon=10.0, every=5.0, clock=clock)
+        reporter.attach()
+        clock.step = 2.0  # each sample advances the wall clock 2s
+        sim.run()
+        # 10 samples x 2s apart, one report every >= 5s of wall time.
+        assert 3 <= reporter.reports <= 4
+        reporter.detach()
+
+    def test_no_reports_when_wall_clock_stalls(self):
+        sim = _sim_with_samples(10)
+        reporter = ProgressReporter(sim, horizon=10.0, every=5.0, clock=FakeClock())
+        reporter.attach()
+        sim.run()  # clock never advances past the cadence
+        assert reporter.reports == 0
+
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(_sim_with_samples(1), horizon=1.0, every=0.0)
+
+
+class TestNonPerturbation:
+    def test_reporter_schedules_no_events(self):
+        plain = _sim_with_samples(8)
+        plain.run()
+
+        observed = _sim_with_samples(8)
+        clock = FakeClock()
+        with ProgressReporter(observed, horizon=8.0, every=0.5, clock=clock):
+            clock.step = 1.0
+            observed.run()
+        assert observed.events_processed == plain.events_processed
+
+    def test_detach_stops_reporting(self):
+        sim = _sim_with_samples(6)
+        clock = FakeClock()
+        reporter = ProgressReporter(sim, horizon=6.0, every=0.5, clock=clock)
+        reporter.attach()
+        reporter.detach()
+        reporter.detach()  # idempotent
+        clock.step = 1.0
+        sim.run()
+        assert reporter.reports == 0
+
+
+class TestEmit:
+    def test_line_carries_label_progress_and_rates(self):
+        sim = _sim_with_samples(4)
+        clock = FakeClock()
+        reporter = ProgressReporter(
+            sim, horizon=8.0, every=1.0, label="fig6", clock=clock
+        )
+        sim.run()
+        clock.step = 2.0
+        line = reporter.emit()
+        assert line.startswith("fig6: t=4/8 (50.0%)")
+        assert "events" in line and "ev/s" in line and "eta" in line
+
+    def test_eta_unknown_without_sim_progress(self):
+        sim = _sim_with_samples(1)
+        reporter = ProgressReporter(sim, horizon=5.0, every=1.0, clock=FakeClock())
+        assert "eta ?" in reporter.emit(wall=1.0)

@@ -1,0 +1,100 @@
+"""MetricsRegistry: instruments, producers, and the collect namespace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_sets(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("lat", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 4
+        assert d["sum"] == 555.5
+        assert d["min"] == 0.5 and d["max"] == 500
+        assert d["mean"] == pytest.approx(138.875)
+        assert d["buckets"] == {"le_1": 1, "le_10": 1, "le_100": 1, "inf": 1}
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+
+    def test_empty_histogram_mean_is_none(self):
+        assert Histogram("x").to_dict()["mean"] is None
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_name_collision_across_types_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.bind("x", lambda: 0)
+
+    def test_bind_is_rebindable_but_not_over_instruments(self):
+        reg = MetricsRegistry()
+        reg.bind("p", lambda: 1)
+        reg.bind("p", lambda: 2)  # re-wiring after restore does this
+        assert reg.collect()["p"] == 2
+
+    def test_collect_is_sorted_and_evaluates_producers(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(7)
+        reg.gauge("c.level").set(0.5)
+        source = {"v": 10}
+        reg.bind("a.live", lambda: source["v"])
+        out = reg.collect()
+        assert list(out) == ["a.live", "b.count", "c.level"]
+        source["v"] = 11
+        assert reg.collect()["a.live"] == 11
+
+    def test_names_spans_all_tables(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.bind("p", lambda: 0)
+        reg.histogram("h")
+        reg.gauge("g")
+        assert reg.names() == ["c", "g", "h", "p"]
+
+    def test_snapshot_restore_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2.5)
+        h = reg.histogram("h", buckets=(1, 10))
+        h.observe(5)
+        reg.bind("p", lambda: 42)
+
+        fresh = MetricsRegistry()
+        fresh.bind("p", lambda: 42)  # producers are wiring, rebound
+        fresh.restore(reg.snapshot())
+        assert fresh.collect() == reg.collect()
+        # Restored instruments keep accumulating.
+        fresh.counter("c").inc()
+        assert fresh.collect()["c"] == 4

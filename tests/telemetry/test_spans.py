@@ -1,0 +1,69 @@
+"""Span timing: aggregates, nesting, event attribution, snapshots."""
+
+from __future__ import annotations
+
+from repro.sim.scheduler import Simulator
+from repro.telemetry.spans import NULL_SPAN, SpanTimer
+
+
+class TestSpanTimer:
+    def test_aggregates_accumulate_per_name(self):
+        timer = SpanTimer()
+        for _ in range(3):
+            with timer.span("phase"):
+                pass
+        agg = timer.total("phase")
+        assert agg["calls"] == 3
+        assert agg["wall_s"] >= 0.0
+        assert timer.total("never") is None
+
+    def test_event_attribution_through_bound_sim(self):
+        sim = Simulator(seed=0)
+        timer = SpanTimer()
+        timer.bind_sim(sim)
+        sim.on("tick", lambda s, e: None)
+        for _ in range(5):
+            sim.schedule(1.0, "tick")
+        with timer.span("run"):
+            sim.run()
+        assert timer.total("run")["events"] == 5
+
+    def test_nesting_depth_recorded_in_intervals(self):
+        timer = SpanTimer()
+        with timer.span("outer"):
+            with timer.span("inner"):
+                pass
+        depths = {name: depth for name, _, _, depth in timer.intervals()}
+        assert depths == {"outer": 0, "inner": 1}
+
+    def test_intervals_are_bounded_aggregates_exact(self):
+        timer = SpanTimer(interval_capacity=2)
+        for _ in range(5):
+            with timer.span("s"):
+                pass
+        assert len(timer.intervals()) == 2
+        assert timer.total("s")["calls"] == 5
+
+    def test_aggregates_sorted_by_wall_time(self):
+        timer = SpanTimer()
+        timer._finish("small", 0.0, 0.001, 0, 0)
+        timer._finish("big", 0.0, 1.0, 0, 0)
+        assert list(timer.aggregates()) == ["big", "small"]
+
+    def test_snapshot_restore_keeps_totals_drops_intervals(self):
+        timer = SpanTimer()
+        with timer.span("s"):
+            pass
+        fresh = SpanTimer()
+        fresh.restore(timer.snapshot())
+        assert fresh.total("s")["calls"] == 1
+        assert fresh.intervals() == ()
+        with fresh.span("s"):
+            pass
+        assert fresh.total("s")["calls"] == 2
+
+
+class TestNullSpan:
+    def test_null_span_is_a_shared_noop(self):
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
