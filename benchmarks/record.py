@@ -65,6 +65,16 @@ from repro.sim.scheduler import Simulator  # noqa: E402
 from repro.telemetry import TelemetryConfig  # noqa: E402
 
 
+def peak_rss_mb() -> int:
+    """Process peak RSS in MB (``ru_maxrss`` high-water mark).
+
+    The kernel never lowers the high-water mark, so a section's reading
+    is "peak RSS up to and including this section" in run order -- the
+    first section that spikes memory is the one whose reading jumps.
+    """
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024)
+
+
 def bench_scheduler(n_events: int, passes: int = 3) -> dict:
     """Schedule + deliver ``n_events`` self-perpetuating events.
 
@@ -147,6 +157,42 @@ def bench_harnesses(quick: bool) -> dict:
     return walls
 
 
+def bench_million(quick: bool) -> dict:
+    """Memory-headroom probe: the columnar core at n = 10^6.
+
+    A short-horizon churned run whose headline metric is the footprint,
+    not throughput: the struct-of-arrays ``PeerStore`` must carry a
+    million live peers (plus the event queue and churn schedule) in well
+    under a gigabyte, where the per-object design extrapolated to ~3GB.
+    ``store_mb`` isolates the columnar core's own share of that peak.
+    Quick mode drops to 10^5 so the section stays CI-sized.
+    """
+    cfg = largescale_config().with_(
+        name="million", n=1_000_000, horizon=90.0, warmup=45.0
+    )
+    if quick:
+        cfg = cfg.with_(n=100_000, horizon=60.0, warmup=30.0)
+
+    started = time.perf_counter()
+    run = run_dynamic_scenario(cfg).result
+    elapsed = time.perf_counter() - started
+    run.overlay.check_invariants(aggregates=True)
+
+    events = run.ctx.sim.events_processed
+    return {
+        "n": cfg.n,
+        "horizon": cfg.horizon,
+        "wall_s": round(elapsed, 3),
+        "events": events,
+        "events_per_sec": round(events / elapsed),
+        "joins": run.driver.joins,
+        "deaths": run.driver.deaths,
+        "final_ratio": round(run.overlay.layer_size_ratio(), 2),
+        "store_mb": round(run.overlay.store.nbytes / (1 << 20)),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
 def bench_largescale(quick: bool) -> dict:
     """The churned large-N dynamic run (100k peers; 10k in quick mode).
 
@@ -174,9 +220,7 @@ def bench_largescale(quick: bool) -> dict:
         "joins": run.driver.joins,
         "deaths": run.driver.deaths,
         "final_ratio": round(run.overlay.layer_size_ratio(), 2),
-        "peak_rss_mb": round(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
-        ),
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -320,6 +364,7 @@ SECTIONS = (
     "flooding",
     "harness",
     "largescale",
+    "million",
     "parallel",
     "warmstart",
     "telemetry",
@@ -333,15 +378,28 @@ THROUGHPUT_METRICS = (
     ("warmstart", "speedup"),
 )
 
+#: Memory metrics gated by ``--compare`` (lower is better).  Every
+#: section records the process high-water mark at its completion; only
+#: the large-scale run is *gated*, because it is the one section whose
+#: footprint is dominated by simulation state rather than by whatever
+#: earlier sections already pinned (ru_maxrss never goes down).
+MEMORY_METRICS = (
+    ("largescale", "peak_rss_mb"),
+    ("million", "peak_rss_mb"),
+)
 
-def compare_records(prev: dict, new: dict, threshold: float) -> tuple[list, list]:
-    """Diff throughput metrics; return (failures, warnings).
+
+def compare_records(
+    prev: dict, new: dict, threshold: float, mem_threshold: float = 0.20
+) -> tuple[list, list]:
+    """Diff throughput and memory metrics; return (failures, warnings).
 
     A failure is a drop of more than ``threshold`` (fraction) in any
-    :data:`THROUGHPUT_METRICS` entry.  Incomparable records (different
-    ``quick`` mode, or a metric missing on either side) produce
-    warnings, never failures -- the gate must not block on a record
-    taken at a different scale.
+    :data:`THROUGHPUT_METRICS` entry, or a *growth* of more than
+    ``mem_threshold`` in any :data:`MEMORY_METRICS` entry.  Incomparable
+    records (different ``quick`` mode, or a metric missing on either
+    side) produce warnings, never failures -- the gate must not block on
+    a record taken at a different scale.
     """
     failures: list[str] = []
     warnings: list[str] = []
@@ -363,6 +421,21 @@ def compare_records(prev: dict, new: dict, threshold: float) -> tuple[list, list
         if change < -threshold:
             failures.append(f"{line} exceeds -{threshold:.0%} gate")
         elif change < 0:
+            warnings.append(line)
+    for section, metric in MEMORY_METRICS:
+        label = f"{section}.{metric}"
+        before = prev.get(section, {}).get(metric)
+        after = new.get(section, {}).get(metric)
+        if before is None and after is None:
+            continue  # neither record samples memory: nothing to gate
+        if not before or after is None:
+            warnings.append(f"{label}: missing in one record, skipped")
+            continue
+        change = (after - before) / before
+        line = f"{label}: {before:,} -> {after:,} MB ({change:+.1%})"
+        if change > mem_threshold:
+            failures.append(f"{line} exceeds +{mem_threshold:.0%} memory gate")
+        elif change > 0:
             warnings.append(line)
     return failures, warnings
 
@@ -442,6 +515,12 @@ def main(argv=None) -> int:
         help="max tolerated throughput drop as a fraction (default 0.15)",
     )
     parser.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated peak-RSS growth as a fraction (default 0.20)",
+    )
+    parser.add_argument(
         "--latest-baseline",
         action="store_true",
         help="print the path of the latest committed BENCH_*.json "
@@ -485,9 +564,16 @@ def main(argv=None) -> int:
         "quick": args.quick,
     }
 
+    def stamp_rss(key: str) -> None:
+        # Process high-water mark at section completion (run-order
+        # cumulative; see ``peak_rss_mb``).  The largescale section
+        # records its own reading inside the bench function.
+        record[key].setdefault("peak_rss_mb", peak_rss_mb())
+
     if "scheduler" in selected:
         print("scheduler micro-benchmark...", flush=True)
         record["scheduler"] = bench_scheduler(20_000 if args.quick else 100_000)
+        stamp_rss("scheduler")
         print(f"  {record['scheduler']['events_per_sec']:,} events/sec")
 
     if "flooding" in selected:
@@ -497,11 +583,13 @@ def main(argv=None) -> int:
             horizon=150.0 if args.quick else 300.0,
             n_queries=500 if args.quick else 2_000,
         )
+        stamp_rss("flooding")
         print(f"  {record['flooding']['queries_per_sec']:,} queries/sec")
 
     if "harness" in selected:
         print("harness wall times...", flush=True)
         record["harness_wall_s"] = bench_harnesses(args.quick)
+        stamp_rss("harness_wall_s")
         for name, wall in record["harness_wall_s"].items():
             print(f"  {name}: {wall}s")
 
@@ -514,9 +602,20 @@ def main(argv=None) -> int:
             f"({ls['events_per_sec']:,}/s), {ls['peak_rss_mb']} MB peak rss"
         )
 
+    if "million" in selected:
+        print("million-peer memory probe...", flush=True)
+        record["million"] = bench_million(args.quick)
+        mm = record["million"]
+        print(
+            f"  n={mm['n']:,}: {mm['wall_s']}s, {mm['events']:,} events "
+            f"({mm['events_per_sec']:,}/s), {mm['store_mb']} MB store, "
+            f"{mm['peak_rss_mb']} MB peak rss"
+        )
+
     if "parallel" in selected:
         print("parallel replicate (serial vs all-cores)...", flush=True)
         record["parallel_replicate"] = bench_parallel(args.quick)
+        stamp_rss("parallel_replicate")
         pr = record["parallel_replicate"]
         if pr.get("skipped"):
             print(f"  skipped: {pr['reason']}")
@@ -530,6 +629,7 @@ def main(argv=None) -> int:
     if "warmstart" in selected:
         print("warm-start sweep forking (cold vs warm)...", flush=True)
         record["warmstart"] = bench_warmstart(args.quick)
+        stamp_rss("warmstart")
         ws = record["warmstart"]
         print(
             f"  {ws['points']} points: {ws['cold_wall_s']}s cold, "
@@ -540,6 +640,7 @@ def main(argv=None) -> int:
     if "telemetry" in selected:
         print("telemetry overhead (disabled vs enabled)...", flush=True)
         record["telemetry"] = bench_telemetry(args.quick)
+        stamp_rss("telemetry")
         tl = record["telemetry"]
         print(
             f"  figure6 n={tl['n']}: {tl['disabled_wall_s']}s disabled, "
@@ -554,7 +655,9 @@ def main(argv=None) -> int:
 
     if args.compare:
         prev = json.loads(Path(args.compare).read_text())
-        failures, warnings = compare_records(prev, record, args.threshold)
+        failures, warnings = compare_records(
+            prev, record, args.threshold, args.mem_threshold
+        )
         print(f"\ncomparing against {args.compare}:")
         for line in warnings:
             print(f"  warn: {line}")

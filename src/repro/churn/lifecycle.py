@@ -36,6 +36,10 @@ from .scenarios import Scenario
 
 __all__ = ["ChurnDriver"]
 
+#: Payload marker on the warm-up chain's PEER_JOIN events.  Compared by
+#: equality, not identity: checkpoints pickle payloads by value.
+_BACKLOG = "warmup_backlog"
+
 
 class ChurnDriver:
     """Drives joins, deaths, and scenario shifts against one context."""
@@ -76,17 +80,39 @@ class ChurnDriver:
                     EventKind.SCENARIO_SHIFT,
                     {"target": shift.target, "scale": shift.scale},
                 )
-        # Pending death events by pid (cancellable by failure injection).
-        self._leave_events: dict[int, Event] = {}
+        # Warm-up join times not yet scheduled, reversed (pop() ascends).
+        self._join_backlog: list[float] = []
         # Run counters.
         self.joins = 0
         self.deaths = 0
 
     # -- population ------------------------------------------------------
     def populate(self, n: int, *, warmup: float = 100.0) -> None:
-        """Schedule the warm-up growth to ``n`` peers."""
-        for t in warmup_join_times(n, warmup, self._rng_arrivals, start=self.ctx.now):
-            self.ctx.sim.schedule_at(t, EventKind.PEER_JOIN)
+        """Schedule the warm-up growth to ``n`` peers.
+
+        The join times are drawn (and the RNG stream consumed) upfront,
+        but with a positive warm-up window they are *scheduled* as a
+        chain -- each warm-up join schedules its successor -- so the
+        queue holds one pending warm-up join instead of ``n`` Event
+        objects (~180MB of transient high-water at the million-peer
+        scale).  ``warmup = 0`` keeps the all-upfront path: its joins
+        all land at one instant, where chaining would reorder them
+        against their own zero-delay cascade events.
+        """
+        times = warmup_join_times(n, warmup, self._rng_arrivals, start=self.ctx.now)
+        if warmup == 0:
+            for t in times:
+                self.ctx.sim.schedule_at(t, EventKind.PEER_JOIN)
+            return
+        times.reverse()
+        self._join_backlog = times
+        self._advance_backlog()
+
+    def _advance_backlog(self) -> None:
+        if self._join_backlog:
+            self.ctx.sim.schedule_at(
+                self._join_backlog.pop(), EventKind.PEER_JOIN, _BACKLOG
+            )
 
     def spawn_now(self) -> None:
         """Schedule one extra join at the current time."""
@@ -110,6 +136,10 @@ class ChurnDriver:
 
     # -- handlers ------------------------------------------------------------
     def _on_join(self, sim: Simulator, event: Event) -> None:
+        # Chain the next warm-up join *before* this join's cascade runs,
+        # mirroring the schedule-all-upfront ordering it replaces.
+        if event.payload == _BACKLOG:
+            self._advance_backlog()
         capacity = float(self.capacities.sample_one(self._rng_cap))
         lifetime = float(self.lifetimes.sample_one(self._rng_life))
         eligible = (
@@ -120,16 +150,20 @@ class ChurnDriver:
         peer = self.ctx.join.join(
             sim.now, capacity, lifetime, role=role, eligible=eligible
         )
-        self._leave_events[peer.pid] = sim.schedule_at(
-            peer.death_time, EventKind.PEER_LEAVE, {"pid": peer.pid}
+        # The death event rides in the store's ``dv`` column (not a
+        # side dict: a million-entry dict costs ~75MB) and carries the
+        # bare pid -- a shared int, not a fresh one-key dict per peer.
+        store, slot = peer._store, peer._slot
+        store.dv[slot] = sim.schedule_at(
+            peer.death_time, EventKind.PEER_LEAVE, peer.pid
         )
         if peer.is_leaf:
-            self.ctx.overhead.record_leaf_join(len(peer.super_neighbors))
+            self.ctx.overhead.record_leaf_join(int(store.n_super_links[slot]))
         self.joins += 1
         self.policy.on_peer_joined(peer)
 
     def _on_leave(self, sim: Simulator, event: Event) -> None:
-        self.kill_peer(event.payload["pid"], replace=self.replacement)
+        self.kill_peer(event.payload, replace=self.replacement)
 
     def kill_peer(self, pid: int, *, replace: bool) -> bool:
         """Remove a peer now (natural death or injected failure).
@@ -141,8 +175,10 @@ class ChurnDriver:
         peer = self.ctx.overlay.get(pid)
         if peer is None:
             return False
-        pending = self._leave_events.pop(pid, None)
+        store, slot = peer._store, peer._slot
+        pending = store.dv[slot]
         if pending is not None:
+            store.dv[slot] = None
             pending.cancel()
         was_super = peer.is_super
         orphans, former_supers = self.ctx.overlay.remove_peer(pid)
@@ -179,12 +215,18 @@ class ChurnDriver:
         wiring-time events are discarded wholesale when the restored
         queue replaces them.)
         """
+        store = self.ctx.overlay.store
+        dv, pid_col = store.dv, store.pid
+        leave_events = sorted(
+            (int(pid_col[s]), dv[s].seq)
+            for s in store.live_slots()
+            if dv[s] is not None
+        )
         return {
             "joins": self.joins,
             "deaths": self.deaths,
-            "leave_events": [
-                (pid, ev.seq) for pid, ev in self._leave_events.items()
-            ],
+            "leave_events": leave_events,
+            "join_backlog": list(self._join_backlog),
             "lifetime_scale": self.lifetimes.scale,
             "capacity_scale": self.capacities.scale,
         }
@@ -193,8 +235,9 @@ class ChurnDriver:
         """Re-link pending death events from a restored queue."""
         self.joins = state["joins"]
         self.deaths = state["deaths"]
-        self._leave_events = {
-            pid: sim.restored_event(seq) for pid, seq in state["leave_events"]
-        }
+        store = self.ctx.overlay.store
+        for pid, seq in state["leave_events"]:
+            store.dv[store.slot(pid)] = sim.restored_event(seq)
+        self._join_backlog = list(state["join_backlog"])
         self.lifetimes.set_scale(state["lifetime_scale"])
         self.capacities.set_scale(state["capacity_scale"])

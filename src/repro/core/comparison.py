@@ -121,23 +121,42 @@ def compare_leaves_observed(
     hits_c = 0
     hits_a = 0
     if type(knowledge) is OmniscientKnowledge:
-        # Fast path for the paper's default knowledge plane: read the
-        # live peer directly instead of paying a method call plus a
-        # (capacity, age) tuple allocation per member.  Observations are
-        # never UNKNOWN here, so ``missing`` stays 0; semantics are
-        # otherwise identical to the generic loop below (equivalence is
-        # unit-tested).
-        get = knowledge._get
-        leaf = Role.LEAF
-        for lid in members:
-            p = get(lid)
-            if p is None or p.role is not leaf:  # pragma: no cover - live
-                continue
-            usable += 1
-            if p.capacity * x_capa > own_cap:
-                hits_c += 1
-            if (now - p.join_time) * x_age > own_age:
-                hits_a += 1
+        # Fast path for the paper's default knowledge plane: gather the
+        # members' capacity/join_time straight from the columnar store.
+        # Observations are never UNKNOWN here, so ``missing`` stays 0;
+        # semantics are otherwise identical to the generic loop below
+        # (equivalence is unit-tested).  The Y counters are exact integer
+        # hit counts, so the vectorized comparison is bit-identical to
+        # the scalar loop: each element's multiply/compare is the same
+        # IEEE double operation, and the final division is the same
+        # ``hits / usable``.
+        store = knowledge._store
+        ids = np.fromiter(members, dtype=np.int64)
+        if len(ids) >= _VECTOR_THRESHOLD:
+            slots = store.slots_of(ids)
+            slots = slots[slots >= 0]
+            slots = slots[store.role[slots] == 0]  # ROLE_LEAF
+            usable = len(slots)
+            if usable:
+                caps = store.capacity[slots]
+                ages = now - store.join_time[slots]
+                hits_c = int(np.count_nonzero(caps * x_capa > own_cap))
+                hits_a = int(np.count_nonzero(ages * x_age > own_age))
+        else:
+            get = knowledge._get
+            role_col = store.role
+            cap_col = store.capacity
+            join_col = store.join_time
+            for lid in ids:
+                p = get(int(lid))
+                if p is None or role_col[p._slot]:  # pragma: no cover - live
+                    continue
+                s = p._slot
+                usable += 1
+                if cap_col[s] * x_capa > own_cap:
+                    hits_c += 1
+                if (now - join_col[s]) * x_age > own_age:
+                    hits_a += 1
     else:
         observe = knowledge.observe_leaf
         for lid in members:

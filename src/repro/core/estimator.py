@@ -33,8 +33,13 @@ class RatioEstimator:
         self.config = config
 
     def mu_for_super(self, peer: Peer) -> float:
-        """µ from the super-peer's own leaf-neighbor count."""
-        return mu_inappropriateness(len(peer.leaf_neighbors), self.config.k_l)
+        """µ from the super-peer's own leaf-neighbor count.
+
+        ``l_nn`` is the store's degree column -- no adjacency container
+        is touched (a leaf-less super never allocates one).
+        """
+        l_nn = int(peer._store.n_leaf_links[peer._slot])
+        return mu_inappropriateness(l_nn, self.config.k_l)
 
     def mu_for_leaf(self, view: RelatedSetView) -> float | None:
         """µ from the mean observed ``l_nn`` over G(l).

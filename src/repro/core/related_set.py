@@ -121,9 +121,16 @@ def leaf_related_set(
         ages.append(obs[1])
         if obs[2] is not None:
             lnn.append(obs[2])
-    for sid in dead:
-        peer.contacted_supers.discard(sid)
-        peer.knowledge.forget(sid)
+    if dead:
+        contacted = peer.contacted_supers
+        # Read the observation cache without vivifying it: in omniscient
+        # mode no cache is ever populated, and pruning a dead member must
+        # not allocate one per evaluated leaf.
+        cache = peer._store.kn[peer._slot]
+        for sid in dead:
+            contacted.discard(sid)
+            if cache is not None:
+                cache.forget(sid)
     return RelatedSetView(
         tuple(members), tuple(caps), tuple(ages), tuple(lnn), missing=missing
     )

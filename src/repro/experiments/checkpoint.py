@@ -52,7 +52,9 @@ __all__ = [
 
 #: Bumped whenever the captured state layout changes incompatibly.
 #: Restores refuse checkpoints written under a different schema.
-SCHEMA_VERSION = 1
+#: v3: DLM ``pending`` is the ordered drain list of the coalesced
+#: DLM_EVALUATE event (was a sorted set of per-pid events).
+SCHEMA_VERSION = 3
 
 #: Config fields that never affect the simulated trajectory, excluded
 #: from the compatibility hash: the run's label, how far it runs, and

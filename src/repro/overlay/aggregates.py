@@ -198,8 +198,11 @@ class OverlayAggregates:
             self.leaf_link_count -= len(peer.super_neighbors)
 
     def _on_link(self, a: int, b: int, created: bool) -> None:
-        get = self._overlay.get
-        if get(a).is_leaf != get(b).is_leaf:
+        # Layer membership (kept role-consistent at every link event) is
+        # a dict probe; resolving two Peer views and their role columns
+        # was measurably slower on this per-link hot path.
+        leaf_index = self._overlay.leaf_ids._index
+        if (a in leaf_index) != (b in leaf_index):
             self.leaf_link_count += 1 if created else -1
 
     # -- verification --------------------------------------------------------

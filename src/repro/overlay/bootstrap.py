@@ -123,8 +123,11 @@ class JoinProcedure:
         restores links lost to super-peer deaths/demotions.  Returns the
         super-peers actually connected.
         """
-        peer = self.overlay.peer(pid)
-        exclude = set(peer.super_neighbors)
+        store = self.overlay.store
+        # Column-direct read: the sn tuple IS the neighbor set, and this
+        # runs on every join and every repair, so the LinkSet view (and
+        # its per-element indirection) is measurable overhead here.
+        exclude = set(store.sn[store.slot(pid)])
         exclude.add(pid)
         chosen = self.overlay.random_supers(self.rng, want, exclude=exclude)
         for sid in chosen:

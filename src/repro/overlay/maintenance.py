@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, List
 
 from .bootstrap import JoinProcedure
+from .peerstore import ROLE_LEAF, ROLE_SUPER
 from .topology import Overlay
 
 __all__ = ["Maintenance", "RepairReport"]
@@ -58,8 +59,10 @@ class Maintenance:
     # -- leaf side -------------------------------------------------------
     def ensure_leaf_links(self, pid: int) -> int:
         """Top a leaf's super links back up to ``m``; returns links added."""
-        peer = self.overlay.peer(pid)
-        deficit = self.m - len(peer.super_neighbors)
+        store = self.overlay.store
+        # Degree column instead of materializing the LinkSet view: this
+        # is called for every leaf on every sweep and usually returns 0.
+        deficit = self.m - int(store.n_super_links[store.slot(pid)])
         if deficit <= 0:
             return 0
         return len(self.join.connect_leaf(pid, deficit))
@@ -74,13 +77,12 @@ class Maintenance:
         single-link repair since only one link was lost.
         """
         report = RepairReport()
+        store = self.overlay.store
         for lid in orphans:
-            if lid not in self.overlay:
+            slot = store.slot(lid)
+            if slot < 0 or store.role[slot] != ROLE_LEAF:
                 continue
-            peer = self.overlay.peer(lid)
-            if not peer.is_leaf:
-                continue
-            want = min(links_each, max(0, self.m - len(peer.super_neighbors)))
+            want = min(links_each, max(0, self.m - int(store.n_super_links[slot])))
             if want:
                 report.leaf_reconnections += len(self.join.connect_leaf(lid, want))
         return report
@@ -88,13 +90,15 @@ class Maintenance:
     # -- super side --------------------------------------------------------
     def ensure_super_links(self, pid: int) -> int:
         """Top a super's backbone links back up to ``k_s``; returns links added."""
-        peer = self.overlay.peer(pid)
-        if not peer.is_super:
+        store = self.overlay.store
+        slot = store.slot(pid)
+        if slot < 0 or store.role[slot] != ROLE_SUPER:
             return 0
-        deficit = self.k_s - len(peer.super_neighbors)
+        sn = store.sn[slot]
+        deficit = self.k_s - len(sn)
         if deficit <= 0:
             return 0
-        exclude = set(peer.super_neighbors)
+        exclude = set(sn)
         exclude.add(pid)
         added = 0
         for sid in self.overlay.random_supers(self.join.rng, deficit, exclude=exclude):

@@ -17,6 +17,16 @@ Role transitions (the mechanics of Figures 2 and 3) are implemented here:
   orphaned leaves are returned so the maintenance layer can reconnect them
   (Figure 3).  Those reconnects are the Peer Adjustment Overhead of §6.
 
+Peer state lives in a columnar :class:`~repro.overlay.peerstore.PeerStore`
+owned by the overlay; the registry maps pids to :class:`Peer` views over
+store rows.  Standalone peers are *adopted* into the store on
+:meth:`add_peer` (the view object is rebound, so callers' references stay
+valid) and *evicted* back to the detached pool on :meth:`remove_peer`, so
+leave listeners still read the peer's final state after its overlay slot
+has been recycled.  All mutation paths here write the store columns
+directly -- the degree columns (``n_super_links``/``n_leaf_links``) are
+maintained inline and are what the batch DLM evaluator reads as ``l_nn``.
+
 Observers can subscribe to four event streams, which together are
 sufficient to maintain any derived state (the search index relies on
 this):
@@ -40,10 +50,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..util.idset import IdSet
 from ..util.indexed_set import IndexedSet
 from .aggregates import OverlayAggregates
 from .peer import Peer
+from .peerstore import DETACHED, ROLE_SUPER, PeerStore
 from .roles import Role
 
 __all__ = [
@@ -76,6 +86,9 @@ class Overlay:
     """Registry + adjacency for a two-layer super-peer network."""
 
     def __init__(self) -> None:
+        #: Columnar state for every registered peer (plus the pid->slot
+        #: map used by the batch evaluator's vectorized gathers).
+        self.store = PeerStore(track_pids=True)
         self._peers: Dict[int, Peer] = {}
         # Bound-lookup cache: `get` is the hottest overlay call -- DLM's
         # Phase-1/2 paths (info exchange, related-set construction, the
@@ -167,11 +180,18 @@ class Overlay:
 
     # -- membership --------------------------------------------------------
     def add_peer(self, peer: Peer) -> None:
-        """Insert an unconnected peer into its layer."""
+        """Insert an unconnected peer into its layer.
+
+        The peer's row is adopted into the overlay's store; the ``peer``
+        object itself is rebound to the new row and becomes the
+        registered view, so the caller's reference stays authoritative.
+        """
         if peer.pid in self._peers:
             raise OverlayError(f"duplicate pid {peer.pid}")
-        if peer.super_neighbors or peer.leaf_neighbors:
+        src = peer._store
+        if src.n_super_links[peer._slot] or src.n_leaf_links[peer._slot]:
             raise OverlayError("peer must be added unconnected")
+        self.store.adopt(peer)
         self._peers[peer.pid] = peer
         (self.super_ids if peer.is_super else self.leaf_ids).add(peer.pid)
         self.total_joins += 1
@@ -189,26 +209,37 @@ class Overlay:
         peer = self._peers.get(pid)
         if peer is None:
             raise OverlayError(f"unknown pid {pid}")
-        former_supers = list(peer.super_neighbors)
-        orphans = list(peer.leaf_neighbors)
+        store = self.store
+        slot = peer._slot
+        is_super = bool(store.role[slot] == ROLE_SUPER)
+        former_supers = list(store.sn[slot])
+        ln = store.ln[slot]
+        orphans = list(ln) if ln else []
         # Notify drops while both endpoints are still registered.
         for other in former_supers:
             self._notify_link(pid, other, False)
         for other in orphans:
             self._notify_link(pid, other, False)
         # Sever.
+        peers = self._peers
         for sid in former_supers:
-            other = self._peers[sid]
-            if peer.is_super:
-                other.super_neighbors.discard(pid)
+            oslot = peers[sid]._slot
+            if is_super:
+                store.sn_discard(oslot, pid)
             else:
-                other.leaf_neighbors.discard(pid)
+                store.ln_discard(oslot, pid)
         for lid in orphans:
-            self._peers[lid].super_neighbors.discard(pid)
-        peer.super_neighbors.clear()
-        peer.leaf_neighbors.clear()
-        del self._peers[pid]
-        (self.super_ids if peer.is_super else self.leaf_ids).discard(pid)
+            store.sn_discard(peers[lid]._slot, pid)
+        store.sn[slot] = ()
+        store.n_super_links[slot] = 0
+        if ln is not None:
+            ln.clear()
+        del peers[pid]
+        (self.super_ids if is_super else self.leaf_ids).discard(pid)
+        # Evict the row to the detached pool so the view handed to the
+        # leave listeners (and kept by any caller) stays readable after
+        # the overlay slot is recycled.
+        store.evict(slot, DETACHED)
         self.total_leaves += 1
         for fn in self._membership_listeners:
             fn(peer, False)
@@ -217,8 +248,10 @@ class Overlay:
     # -- links --------------------------------------------------------------
     def connected(self, a: int, b: int) -> bool:
         """Whether a link exists between peers ``a`` and ``b``."""
-        pa = self._peers[a]
-        return b in pa.super_neighbors or b in pa.leaf_neighbors
+        store = self.store
+        slot = self._peers[a]._slot
+        ln = store.ln[slot]
+        return b in store.sn[slot] or (ln is not None and b in ln)
 
     def connect(self, a: int, b: int) -> bool:
         """Create a link; returns False if it already existed.
@@ -228,41 +261,49 @@ class Overlay:
         """
         if a == b:
             raise OverlayError(f"self-link on pid {a}")
-        pa, pb = self._peers[a], self._peers[b]
-        if pa.is_leaf and pb.is_leaf:
+        store = self.store
+        peers = self._peers
+        sa, sb = peers[a]._slot, peers[b]._slot
+        leaf_index = self.leaf_ids._index
+        a_leaf = a in leaf_index
+        b_leaf = b in leaf_index
+        if a_leaf and b_leaf:
             raise OverlayError(f"leaf-leaf link {a}--{b} is not allowed")
-        # Inlined `connected` check against the already-fetched peer:
-        # connect fires on every join/repair, so the duplicate registry
-        # lookups were measurable at Table-3 scale.
-        if b in pa.super_neighbors or b in pa.leaf_neighbors:
+        # Inlined `connected` check against the already-resolved slot:
+        # connect fires on every join/repair, so duplicate lookups were
+        # measurable at Table-3 scale.
+        ln_a = store.ln[sa]
+        if b in store.sn[sa] or (ln_a is not None and b in ln_a):
             return False
-        self._attach(pa, pb)
-        self._attach(pb, pa)
-        if pa.is_leaf:
-            pa.contacted_supers.add(b)
-        if pb.is_leaf:
-            pb.contacted_supers.add(a)
+        if b_leaf:
+            store.ln_add(sa, b)
+        else:
+            store.sn_add(sa, b)
+        if a_leaf:
+            store.ln_add(sb, a)
+        else:
+            store.sn_add(sb, a)
+        if a_leaf:
+            store.ct_add(sa, b)
+        if b_leaf:
+            store.ct_add(sb, a)
         self.total_connections_created += 1
         self._notify_link(a, b, True)
         return True
 
-    @staticmethod
-    def _attach(me: Peer, other: Peer) -> None:
-        if other.is_super:
-            me.super_neighbors.add(other.pid)
-        else:
-            me.leaf_neighbors.add(other.pid)
-
     def disconnect(self, a: int, b: int) -> bool:
         """Remove the link between ``a`` and ``b``; False if absent."""
-        pa, pb = self._peers[a], self._peers[b]
-        if b not in pa.super_neighbors and b not in pa.leaf_neighbors:
+        store = self.store
+        peers = self._peers
+        sa, sb = peers[a]._slot, peers[b]._slot
+        ln_a = store.ln[sa]
+        if b not in store.sn[sa] and (ln_a is None or b not in ln_a):
             return False
         self._notify_link(a, b, False)
-        pa.super_neighbors.discard(b)
-        pa.leaf_neighbors.discard(b)
-        pb.super_neighbors.discard(a)
-        pb.leaf_neighbors.discard(a)
+        store.sn_discard(sa, b)
+        store.ln_discard(sa, b)
+        store.sn_discard(sb, a)
+        store.ln_discard(sb, a)
         return True
 
     # -- role transitions ----------------------------------------------------
@@ -277,14 +318,17 @@ class Overlay:
         peer = self._peers[pid]
         if peer.is_super:
             raise OverlayError(f"pid {pid} is already a super-peer")
+        store = self.store
+        slot = peer._slot
         peer.role = Role.SUPER
         self.leaf_ids.discard(pid)
         self.super_ids.add(pid)
-        for sid in peer.super_neighbors:
-            other = self._peers[sid]
-            other.leaf_neighbors.discard(pid)
-            other.super_neighbors.add(pid)
-        peer.contacted_supers.clear()
+        peers = self._peers
+        for sid in store.sn[slot]:
+            oslot = peers[sid]._slot
+            store.ln_discard(oslot, pid)
+            store.sn_add(oslot, pid)
+        store.ct[slot] = ()
         self.total_promotions += 1
         for fn in self._role_listeners:
             fn(peer, Role.LEAF)
@@ -302,8 +346,10 @@ class Overlay:
         peer = self._peers[pid]
         if peer.is_leaf:
             raise OverlayError(f"pid {pid} is already a leaf-peer")
+        store = self.store
+        slot = peer._slot
 
-        supers = list(peer.super_neighbors)
+        supers = list(store.sn[slot])
         if len(supers) > m:
             kept_idx = rng.choice(len(supers), size=m, replace=False)
             # Keep `kept` an ordered list (adjacency order): it is iterated
@@ -316,26 +362,29 @@ class Overlay:
 
         # Drop surplus super links and all leaf links (notifying while the
         # peer is still a super-peer, so observers see the true link types).
-        orphans = list(peer.leaf_neighbors)
+        peers = self._peers
+        ln = store.ln[slot]
+        orphans = list(ln) if ln else []
         for sid in supers:
             if sid not in kept_set:
                 self._notify_link(pid, sid, False)
-                self._peers[sid].super_neighbors.discard(pid)
-                peer.super_neighbors.discard(sid)
+                store.sn_discard(peers[sid]._slot, pid)
+                store.sn_discard(slot, sid)
         for lid in orphans:
             self._notify_link(pid, lid, False)
-            self._peers[lid].super_neighbors.discard(pid)
-        peer.leaf_neighbors.clear()
+            store.sn_discard(peers[lid]._slot, pid)
+        if ln is not None:
+            ln.clear()
 
         peer.role = Role.LEAF
         self.super_ids.discard(pid)
         self.leaf_ids.add(pid)
         # Re-file the retained links on the other endpoints.
         for sid in kept:
-            other = self._peers[sid]
-            other.super_neighbors.discard(pid)
-            other.leaf_neighbors.add(pid)
-        peer.contacted_supers = IdSet(kept)
+            oslot = peers[sid]._slot
+            store.sn_discard(oslot, pid)
+            store.ln_add(oslot, pid)
+        store.ct[slot] = tuple(kept)
         self.total_demotions += 1
         for fn in self._role_listeners:
             fn(peer, Role.SUPER)
@@ -350,28 +399,55 @@ class Overlay:
         Models the paper's assumption that "new peers randomly select
         active peers as neighbors based on the bootstrapping and joining
         mechanisms currently used" (§3).
+
+        Sampling is block-rejection over the super layer's dense member
+        list: one vectorized ``rng.integers`` draw covers the whole
+        request in the common case instead of one scalar draw per
+        attempt (DESIGN.md §8).  When exclusion leaves at most ``k``
+        candidates the result is forced, so no randomness is consumed
+        at all.
         """
-        excl = set(exclude)
+        supers = self.super_ids
+        items = supers._items
+        n = len(items)
+        if k <= 0 or n == 0:
+            return []
+        excl = exclude if isinstance(exclude, (set, frozenset)) else set(exclude)
         if not excl:
-            return self.super_ids.sample(rng, k)
-        # Rejection-sample with a bounded number of attempts, then fall
-        # back to an exact filtered draw.
+            return supers.sample(rng, k)
+        index = supers._index
+        n_excl = 0
+        for x in excl:
+            if x in index:
+                n_excl += 1
+        avail = n - n_excl
+        if avail <= 0:
+            return []
+        if avail <= k:
+            # Every non-excluded super is chosen: the outcome is forced,
+            # draw nothing.
+            return [s for s in items if s not in excl]
         out: List[int] = []
         seen = set(excl)
-        attempts = 0
-        limit = 16 * max(k, 1)
-        while len(out) < k and attempts < limit and len(self.super_ids) > 0:
-            x = self.super_ids.choice(rng)
-            attempts += 1
-            if x not in seen:
-                seen.add(x)
-                out.append(x)
-        if len(out) < k:
-            pool = [s for s in self.super_ids if s not in excl and s not in out]
-            need = k - len(out)
-            if pool:
-                idx = rng.choice(len(pool), size=min(need, len(pool)), replace=False)
-                out.extend(pool[int(i)] for i in np.atleast_1d(idx))
+        need = k
+        drawn = 0
+        limit = 16 * k
+        while need and drawn < limit:
+            block = min(need + 4, limit - drawn)
+            drawn += block
+            for i in rng.integers(n, size=block):
+                x = items[i]
+                if x not in seen:
+                    seen.add(x)
+                    out.append(x)
+                    need -= 1
+                    if not need:
+                        break
+        if need:
+            # Dense exclusion defeated rejection; exact filtered draw.
+            pool = [s for s in items if s not in seen]
+            idx = rng.choice(len(pool), size=min(need, len(pool)), replace=False)
+            out.extend(pool[int(i)] for i in np.atleast_1d(idx))
         return out
 
     # -- invariants -------------------------------------------------------------
@@ -382,7 +458,8 @@ class Overlay:
         ``aggregates=True`` (default: the module's
         :data:`AGGREGATE_CHECKS` debug flag, off in production) the O(1)
         aggregate counters are additionally verified against a
-        brute-force scan.
+        brute-force scan.  Also cross-verifies the store's degree columns
+        against the actual adjacency containers.
         """
         if aggregates if aggregates is not None else AGGREGATE_CHECKS:
             problems = self.aggregates.mismatches()
@@ -397,12 +474,21 @@ class Overlay:
             raise OverlayError("a pid is in both layers")
         if seen_supers | seen_leaves != set(self._peers):
             raise OverlayError("layer registries out of sync with peer registry")
+        store = self.store
         for peer in self._peers.values():
+            slot = peer._slot
+            if store.pid[slot] != peer.pid or not store.alive[slot]:
+                raise OverlayError(f"stale store row for pid {peer.pid}")
+            if store.n_super_links[slot] != len(store.sn[slot]):
+                raise OverlayError(f"n_super_links drift for pid {peer.pid}")
+            ln = store.ln[slot]
+            if store.n_leaf_links[slot] != (len(ln) if ln else 0):
+                raise OverlayError(f"n_leaf_links drift for pid {peer.pid}")
             if peer.is_super != (peer.pid in seen_supers):
                 raise OverlayError(f"role mismatch for pid {peer.pid}")
-            if peer.is_leaf and peer.leaf_neighbors:
+            if peer.is_leaf and ln:
                 raise OverlayError(f"leaf {peer.pid} has leaf neighbors")
-            for sid in peer.super_neighbors:
+            for sid in store.sn[slot]:
                 other = self._peers.get(sid)
                 if other is None or not other.is_super:
                     raise OverlayError(
@@ -413,7 +499,7 @@ class Overlay:
                 )
                 if peer.pid not in back:
                     raise OverlayError(f"asymmetric link {peer.pid}--{sid}")
-            for lid in peer.leaf_neighbors:
+            for lid in ln or ():
                 other = self._peers.get(lid)
                 if other is None or not other.is_leaf:
                     raise OverlayError(
@@ -424,30 +510,41 @@ class Overlay:
 
     # -- checkpointing -----------------------------------------------------------
     def snapshot(self) -> dict:
-        """Full topology state: peers (with ordered adjacency), layers,
-        cumulative counters.
+        """Full topology state: columnar peer arrays (with ordered
+        adjacency), layers, cumulative counters.
 
-        Listener lists are wiring, not state, and the aggregates are
-        derived -- both are re-established by the composition root.
+        The scalar columns are emitted as NumPy arrays in registry
+        (insertion) order -- compact to pickle and exactly sufficient to
+        rebuild the store.  Listener lists are wiring, not state, and the
+        aggregates are derived -- both are re-established by the
+        composition root.
         """
-        peers = [
-            (
-                p.pid,
-                p.role.value,
-                p.capacity,
-                p.join_time,
-                p.lifetime,
-                list(p.super_neighbors),
-                list(p.leaf_neighbors),
-                list(p.contacted_supers),
-                p.role_change_time,
-                p.eligible,
-                p.knowledge.snapshot(),
-            )
-            for p in self._peers.values()
-        ]
+        store = self.store
+        n = len(self._peers)
+        slots = np.fromiter(
+            (p._slot for p in self._peers.values()), dtype=np.int64, count=n
+        )
+        # Columns are emitted as raw little-endian bytes: as compact as
+        # the arrays themselves, but plain data -- picklable, hashable,
+        # and `==`-comparable like every other snapshot in the system.
         return {
-            "peers": peers,
+            "n": n,
+            "columns": {
+                "pid": store.pid[slots].tobytes(),
+                "role": store.role[slots].tobytes(),
+                "capacity": store.capacity[slots].tobytes(),
+                "join_time": store.join_time[slots].tobytes(),
+                "lifetime": store.lifetime[slots].tobytes(),
+                "role_change_time": store.role_change_time[slots].tobytes(),
+                "eligible": store.eligible[slots].tobytes(),
+            },
+            "sn": [store.sn[s] for s in slots],
+            "ln": [tuple(store.ln[s]) if store.ln[s] else None for s in slots],
+            "ct": [store.ct[s] for s in slots],
+            "knowledge": [
+                store.kn[s].snapshot() if store.kn[s] is not None else None
+                for s in slots
+            ],
             "super_ids": self.super_ids.snapshot(),
             "leaf_ids": self.leaf_ids.snapshot(),
             "total_joins": self.total_joins,
@@ -460,41 +557,55 @@ class Overlay:
     def restore(self, state: dict) -> None:
         """Rebuild the topology from a :meth:`snapshot`.
 
-        Must be called on a freshly wired (empty) overlay.  Peers are
-        rebuilt directly -- no membership/link listeners fire, since
-        derived state (aggregates, search index) restores from its own
-        snapshot or a rebuild.  The registry dict is mutated in place:
-        ``self.get`` is a bound method of that exact dict.
+        Must be called on a freshly wired (empty) overlay.  Rows are
+        rebuilt in snapshot order (preserving registry iteration order);
+        no membership/link listeners fire, since derived state
+        (aggregates, search index) restores from its own snapshot or a
+        rebuild.  The registry dict is mutated in place: ``self.get`` is
+        a bound method of that exact dict.
         """
         if self._peers:
             raise OverlayError("restore requires an empty overlay")
-        for (
-            pid,
-            role_value,
-            capacity,
-            join_time,
-            lifetime,
-            super_neighbors,
-            leaf_neighbors,
-            contacted_supers,
-            role_change_time,
-            eligible,
-            knowledge_state,
-        ) in state["peers"]:
-            peer = Peer(
-                pid=pid,
-                role=Role(role_value),
-                capacity=capacity,
-                join_time=join_time,
-                lifetime=lifetime,
-                role_change_time=role_change_time,
-                eligible=eligible,
+        from .knowledge import NeighborKnowledge
+
+        raw = state["columns"]
+        n = state["n"]
+        cols = {
+            "pid": np.frombuffer(raw["pid"], dtype=np.int64),
+            "role": np.frombuffer(raw["role"], dtype=np.int8),
+            "capacity": np.frombuffer(raw["capacity"], dtype=np.float64),
+            "join_time": np.frombuffer(raw["join_time"], dtype=np.float64),
+            "lifetime": np.frombuffer(raw["lifetime"], dtype=np.float64),
+            "role_change_time": np.frombuffer(
+                raw["role_change_time"], dtype=np.float64
+            ),
+            "eligible": np.frombuffer(raw["eligible"], dtype=np.bool_),
+        }
+        store = self.store
+        for i in range(n):
+            pid = int(cols["pid"][i])
+            slot = store.alloc(
+                pid,
+                int(cols["role"][i]),
+                float(cols["capacity"][i]),
+                float(cols["join_time"][i]),
+                float(cols["lifetime"][i]),
+                float(cols["role_change_time"][i]),
+                bool(cols["eligible"][i]),
             )
-            peer.super_neighbors = IdSet(super_neighbors)
-            peer.leaf_neighbors = IdSet(leaf_neighbors)
-            peer.contacted_supers = IdSet(contacted_supers)
-            peer.knowledge.restore(knowledge_state)
-            self._peers[pid] = peer
+            sn = tuple(state["sn"][i])
+            store.sn[slot] = sn
+            store.n_super_links[slot] = len(sn)
+            ln = state["ln"][i]
+            if ln:
+                store.leaf_set(slot).update(ln)
+            store.ct[slot] = tuple(state["ct"][i])
+            kn = state["knowledge"][i]
+            if kn:
+                knowledge = NeighborKnowledge()
+                knowledge.restore(kn)
+                store.kn[slot] = knowledge
+            self._peers[pid] = store.view(slot)
         self.super_ids.restore(state["super_ids"])
         self.leaf_ids.restore(state["leaf_ids"])
         self.total_joins = state["total_joins"]

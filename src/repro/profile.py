@@ -19,6 +19,7 @@ Examples::
     python -m repro.profile figure6 --n 500 --horizon 300
     python -m repro.profile scheduler --events 200000
     python -m repro.profile flooding --queries 500 --sort tottime
+    python -m repro.profile figure6 --config-scale largescale -n 100000
 """
 
 from __future__ import annotations
@@ -48,7 +49,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(all_ids()) + list(MICRO_WORKLOADS),
         help="registered experiment id or a micro-workload",
     )
-    parser.add_argument("--n", type=int, default=1000, help="network size")
+    parser.add_argument(
+        "-n",
+        "--n",
+        "--scale",
+        dest="n",
+        type=int,
+        default=1000,
+        help="network size (aliases: -n, --scale)",
+    )
+    parser.add_argument(
+        "--config-scale",
+        choices=("bench", "largescale"),
+        default="bench",
+        help="base config family: bench (default) or the columnar "
+        "largescale path (omniscient knowledge, batch DLM eval)",
+    )
     parser.add_argument(
         "--horizon", type=float, default=400.0, help="simulated horizon"
     )
@@ -128,10 +144,11 @@ def _flooding_workload(queries: int, n: int) -> Callable[[], object]:
 
 def _experiment_workload(args: argparse.Namespace) -> Callable[[], object]:
     """One registered experiment harness at the requested scale."""
-    from .experiments.configs import bench_config
+    from .experiments.configs import bench_config, largescale_config
     from .experiments.registry import get_experiment
 
-    cfg = bench_config().with_(n=args.n, horizon=args.horizon)
+    base = largescale_config if args.config_scale == "largescale" else bench_config
+    cfg = base().with_(n=args.n, horizon=args.horizon)
     if args.seed is not None:
         cfg = cfg.with_(seed=args.seed)
     exp = get_experiment(args.experiment)

@@ -83,26 +83,46 @@ class KnowledgeSource:
 
 
 class OmniscientKnowledge(KnowledgeSource):
-    """Instant perfect knowledge, read live (the paper's assumption)."""
+    """Instant perfect knowledge, read live (the paper's assumption).
 
-    __slots__ = ("_get",)
+    Reads go straight to the overlay's columnar store: one registry
+    lookup resolves the slot, then capacity/join_time/degree are scalar
+    column loads -- no Peer property dispatch on this per-member hot
+    path.  The returned values are builtins (classic floats/ints), so
+    downstream arithmetic and digests are unchanged.
+    """
+
+    __slots__ = ("_get", "_store")
 
     def __init__(self, overlay: "Overlay") -> None:
         self._get = overlay.get
+        self._store = overlay.store
 
     def observe_super(self, observer: "Peer", sid: int, now: float):
         """Live (capacity, age, l_nn) of ``sid``; None if gone/demoted."""
         p = self._get(sid)
-        if p is None or not p.is_super:
+        if p is None:
             return None
-        return (p.capacity, now - p.join_time, len(p.leaf_neighbors))
+        store = self._store
+        slot = p._slot
+        if not store.role[slot]:  # ROLE_LEAF
+            return None
+        return (
+            float(store.capacity[slot]),
+            now - float(store.join_time[slot]),
+            int(store.n_leaf_links[slot]),
+        )
 
     def observe_leaf(self, observer: "Peer", lid: int, now: float):
         """Live (capacity, age) of ``lid``; None if gone/promoted."""
         p = self._get(lid)
-        if p is None or not p.is_leaf:
+        if p is None:
             return None
-        return (p.capacity, now - p.join_time)
+        store = self._store
+        slot = p._slot
+        if store.role[slot]:  # ROLE_SUPER
+            return None
+        return (float(store.capacity[slot]), now - float(store.join_time[slot]))
 
 
 class ObservedKnowledge(KnowledgeSource):

@@ -216,23 +216,31 @@ class InfoExchange:
         leaf--super link (and traffic was charged or initiated);
         super--super links are free.
         """
-        pa = self.overlay.get(a)
-        pb = self.overlay.get(b)
-        if pa is None or pb is None or (pa.is_super and pb.is_super):
+        overlay = self.overlay
+        get = overlay.get
+        if get(a) is None or get(b) is None:
             self._notify_complete(a)
             self._notify_complete(b)
             return False
-        leaf, sup = (a, b) if pa.is_leaf else (b, a)
+        # Layer membership probes instead of two role-column reads: this
+        # runs on every link creation, and the layer sets are always
+        # role-consistent when link events fire.
+        leaf_index = overlay.leaf_ids._index
+        a_leaf = a in leaf_index
+        if not a_leaf and b not in leaf_index:
+            self._notify_complete(a)
+            self._notify_complete(b)
+            return False
+        leaf, sup = (a, b) if a_leaf else (b, a)
         if self.faults is None:
             ledger = self.ledger
             ledger.record(NeighNumRequest)
             ledger.record(NeighNumResponse)
-            # Super queries the leaf's values...
-            ledger.record(ValueRequest)
-            ledger.record(ValueResponse)
-            # ...and the leaf queries the super's.
-            ledger.record(ValueRequest)
-            ledger.record(ValueResponse)
+            # The super queries the leaf's values and the leaf queries the
+            # super's: one request/response pair each way, charged fused
+            # (counter totals are identical to four single records).
+            ledger.record(ValueRequest, 2)
+            ledger.record(ValueResponse, 2)
             self._notify_complete(a)
             self._notify_complete(b)
             return True

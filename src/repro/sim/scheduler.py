@@ -23,12 +23,22 @@ Hot-path notes (profiled with ``python -m repro.profile scheduler``):
   nondecreasing order and :meth:`schedule_at` rejects past times, so the
   monotonicity check in :meth:`SimClock.advance_to` is provably redundant
   on this path.
+* Events scheduled at exactly the current time (zero-delay follow-ups,
+  the dominant pattern: DLM evaluation requests fired from connection
+  events) bypass the heap into a FIFO *now-buffer*.  The buffer stays
+  sorted by ``(time, seq)`` by construction -- appends carry a monotone
+  seq at a monotone clock -- and any heap entry with the same timestamp
+  was necessarily scheduled earlier (smaller seq), so a plain tuple
+  comparison between the buffer front and the heap top reproduces the
+  exact global FIFO order at O(1) instead of O(log n) per zero-delay
+  event.
 * Payload-less events share one immutable empty mapping instead of
   allocating a fresh dict each (payloads are read-only by contract).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from types import MappingProxyType
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
@@ -67,6 +77,7 @@ class Simulator:
         self.clock = SimClock(start)
         self.rng = RngStreams(seed, domain=rng_domain)
         self._queue: List[Tuple[float, int, Event]] = []
+        self._now_buffer: "deque[Tuple[float, int, Event]]" = deque()
         self._handlers: Dict[str, List[Handler]] = {}
         self._events_processed = 0
         self._running = False
@@ -88,15 +99,19 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        return len(self._queue) + len(self._now_buffer)
 
     def queued_events(self):
         """Iterate the queued events (heap order, cancelled included).
 
         Introspection helper for tests and debugging; the heap itself
-        stores ``(time, seq, event)`` tuples.
+        stores ``(time, seq, event)`` tuples.  Same-time events parked in
+        the now-buffer follow the heap entries.
         """
-        return (entry[2] for entry in self._queue)
+        for entry in self._queue:
+            yield entry[2]
+        for entry in self._now_buffer:
+            yield entry[2]
 
     # -- wiring --------------------------------------------------------------
     def on(self, kind: str, handler: Handler) -> None:
@@ -148,7 +163,10 @@ class Simulator:
             payload=_EMPTY_PAYLOAD if payload is None else payload,
             seq=seq,
         )
-        heappush(self._queue, (time, seq, ev))
+        if time == self.clock._now:
+            self._now_buffer.append((time, seq, ev))
+        else:
+            heappush(self._queue, (time, seq, ev))
         return ev
 
     def next_process_token(self) -> int:
@@ -168,11 +186,15 @@ class Simulator:
     def step(self) -> Optional[Event]:
         """Deliver the next non-cancelled event; return it (or None if empty)."""
         queue = self._queue
-        while queue:
-            ev = heappop(queue)[2]
+        buffer = self._now_buffer
+        while queue or buffer:
+            if buffer and (not queue or buffer[0] < queue[0]):
+                ev = buffer.popleft()[2]
+            else:
+                ev = heappop(queue)[2]
             if ev.cancelled:
                 continue
-            # Heap order makes this monotone; skip advance_to's check.
+            # Pop order makes this monotone; skip advance_to's check.
             self.clock._now = ev.time
             self._events_processed += 1
             handlers = self._handlers.get(ev.kind)
@@ -197,20 +219,28 @@ class Simulator:
         self._running = True
         delivered = 0
         queue = self._queue
+        buffer = self._now_buffer
         registry = self._handlers
         clock = self.clock
         try:
-            while queue:
-                head = queue[0]
+            while queue or buffer:
+                use_buffer = bool(buffer) and (not queue or buffer[0] < queue[0])
+                head = buffer[0] if use_buffer else queue[0]
                 ev = head[2]
                 if ev.cancelled:
-                    heappop(queue)
+                    if use_buffer:
+                        buffer.popleft()
+                    else:
+                        heappop(queue)
                     continue
                 if until is not None and head[0] > until:
                     break
                 if max_events is not None and delivered >= max_events:
                     break
-                heappop(queue)
+                if use_buffer:
+                    buffer.popleft()
+                else:
+                    heappop(queue)
                 clock._now = head[0]
                 self._events_processed += 1
                 handlers = registry.get(ev.kind)
@@ -222,7 +252,7 @@ class Simulator:
             pass
         finally:
             self._running = False
-        if until is not None and clock._now < until and not queue:
+        if until is not None and clock._now < until and not queue and not buffer:
             # Drained early: jump the clock to the horizon so that metric
             # timestamps computed from `now` are well defined.
             clock._now = until
@@ -239,12 +269,22 @@ class Simulator:
         Handler wiring is deliberately *not* captured: the composition
         root re-derives it by re-wiring the system from config.
         """
+        # Fold any parked same-time events into the heap so the snapshot
+        # has a single canonical queue (restore then starts with an empty
+        # now-buffer).  Pop order is unchanged: the merge rule is a pure
+        # (time, seq) comparison either way.
+        while self._now_buffer:
+            heappush(self._queue, self._now_buffer.popleft())
         queue = [
             (
                 t,
                 seq,
                 ev.kind,
-                dict(ev.payload) if ev.payload else None,
+                # Copy dict payloads (None for the shared empty sentinel);
+                # scalar payloads (pid ints, marker strings) pass through.
+                (dict(ev.payload) or None)
+                if isinstance(ev.payload, Mapping)
+                else ev.payload,
                 ev.cancelled,
             )
             for (t, seq, ev) in self._queue
@@ -288,6 +328,7 @@ class Simulator:
             queue.append((t, seq, ev))
             by_seq[seq] = ev
         self._queue = queue
+        self._now_buffer.clear()
         self._restored_events = by_seq
         if restore_rng:
             self.rng.restore(state["rng"])

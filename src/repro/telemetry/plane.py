@@ -158,6 +158,7 @@ def bind_standard_producers(
     reg.bind("overlay.ratio", lambda: overlay.layer_size_ratio())
     reg.bind("overlay.promotions", lambda: overlay.total_promotions)
     reg.bind("overlay.demotions", lambda: overlay.total_demotions)
+    reg.bind("overlay.store_bytes", lambda: overlay.store.nbytes)
 
     messages = ctx.messages
     reg.bind("messages.total", lambda: sum(messages.snapshot().counts.values()))

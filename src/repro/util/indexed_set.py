@@ -62,14 +62,23 @@ class IndexedSet:
         if k <= 0:
             return []
         # For tiny k relative to n, rejection sampling beats permutation.
+        # Draw indices in vectorized blocks: at k*8 < n the duplicate
+        # probability is low enough that the first block almost always
+        # covers the whole request.
         if k * 8 < n:
+            items = self._items
             seen: set = set()
             out: List[int] = []
-            while len(out) < k:
-                x = self._items[int(rng.integers(n))]
-                if x not in seen:
-                    seen.add(x)
-                    out.append(x)
+            need = k
+            while need:
+                for i in rng.integers(n, size=need + 4):
+                    x = items[i]
+                    if x not in seen:
+                        seen.add(x)
+                        out.append(x)
+                        need -= 1
+                        if not need:
+                            break
             return out
         idx = rng.choice(n, size=k, replace=False)
         return [self._items[int(i)] for i in idx]

@@ -29,11 +29,12 @@ class TestKillPeer:
     def test_kill_cancels_scheduled_death(self):
         ctx, driver = build_static_system()
         pid = next(iter(ctx.overlay.leaf_ids))
-        pending = driver._leave_events[pid]
+        store = ctx.overlay.store
+        pending = store.dv[store.slot(pid)]
+        assert pending is not None
         assert driver.kill_peer(pid, replace=False)
         assert pid not in ctx.overlay
         assert pending.cancelled  # the natural death will never fire
-        assert pid not in driver._leave_events
 
     def test_kill_missing_peer_returns_false(self):
         ctx, driver = build_static_system()

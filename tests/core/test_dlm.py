@@ -71,14 +71,14 @@ class TestEventDrivenTriggering:
             ctx.join.join(0.0, 10.0, 500.0, role=Role.SUPER)
         policy.request_evaluation(0)
         policy.request_evaluation(0)
-        pending = sum(
+        # Requests coalesce: one drain event outstanding, pid 0 queued once.
+        assert policy._drain.count(0) == 1
+        drains = sum(
             1
             for ev in ctx.sim.queued_events()
-            if ev.kind == EventKind.DLM_EVALUATE
-            and not ev.cancelled
-            and ev.payload.get("pid") == 0
+            if ev.kind == EventKind.DLM_EVALUATE and not ev.cancelled
         )
-        assert pending == 1
+        assert drains == 1
 
     def test_info_exchange_charged_on_leaf_links(self):
         ctx, policy = make_system(event_driven=True)

@@ -15,6 +15,12 @@ to ~n ulps of error; see DESIGN.md, "Aggregate plane").
 ``golden_layerstats.json`` next to this module holds every recorded
 sample of every series, captured at the last full-scan commit.
 
+Regeneration history: recaptured for the columnar-core PR, whose
+vectorized rejection samplers (``Overlay.random_supers``,
+``IndexedSet.sample``) and coalesced evaluation drain consume the
+RNG stream differently -- an intended sample-path change; see
+DESIGN.md §8.
+
 Regenerate (only when a change is *intended* to alter sample paths)::
 
     PYTHONPATH=src:. python tests/experiments/golden_layerstats.py

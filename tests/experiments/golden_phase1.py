@@ -8,6 +8,12 @@ but highly sensitive fingerprint of a ``figure4`` run and of a
 two-seed ``replication`` aggregate; ``golden_phase1.json`` next to it
 holds the values captured at the last pre-refactor commit.
 
+Regeneration history: recaptured for the columnar-core PR, whose
+vectorized rejection samplers (``Overlay.random_supers``,
+``IndexedSet.sample``) and coalesced evaluation drain consume the
+RNG stream differently -- an intended sample-path change; see
+DESIGN.md §8.
+
 Regenerate (only when a change is *intended* to alter sample paths)::
 
     PYTHONPATH=src:. python tests/experiments/golden_phase1.py

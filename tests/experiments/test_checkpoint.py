@@ -18,6 +18,7 @@ import pytest
 
 from repro.churn.scenarios import figure45_scenario
 from repro.experiments.checkpoint import (
+    SCHEMA_VERSION,
     CheckpointError,
     CheckpointManager,
     capture_run_state,
@@ -113,7 +114,7 @@ class TestCheckpointManager:
         assert path.exists()
         assert not (tmp_path / "run.ckpt.tmp").exists()
         payload = CheckpointManager.load(str(path))
-        assert payload["header"]["schema"] == 1
+        assert payload["header"]["schema"] == SCHEMA_VERSION
         assert payload["header"]["policy"] == "dlm"
         assert payload["header"]["time"] == 120.0
 

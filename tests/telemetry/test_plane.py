@@ -100,3 +100,59 @@ class TestStandardProducers:
 
     def test_context_default_is_null_telemetry(self):
         assert build_context(seed=1).telemetry is NULL_TELEMETRY
+
+    def test_store_bytes_gauge_tracks_columnar_store(self):
+        from repro.overlay.peer import Peer
+        from repro.overlay.roles import Role
+
+        tel = Telemetry()
+        ctx = build_context(seed=1, telemetry=tel)
+        bind_standard_producers(tel, ctx)
+        before = tel.registry.collect()["overlay.store_bytes"]
+        assert before == ctx.overlay.store.nbytes > 0
+        # Blow past the initial slot capacity so the columns regrow; the
+        # producer is a live view, so collect() sees the new footprint.
+        for pid in range(2000):
+            ctx.overlay.add_peer(
+                Peer(pid, Role.LEAF, capacity=1.0, join_time=0.0, lifetime=1.0)
+            )
+        after = tel.registry.collect()["overlay.store_bytes"]
+        assert after == ctx.overlay.store.nbytes > before
+
+
+class TestBatchEvalInstruments:
+    def test_batch_size_histogram_observes_sweeps(self):
+        from repro.core.config import DLMConfig
+        from repro.experiments.configs import table2_config
+        from repro.experiments.runner import run_experiment
+
+        cfg = table2_config().with_(
+            n=150,
+            seed=7,
+            horizon=120.0,
+            dlm=DLMConfig(batch_eval=True),
+            telemetry=TelemetryConfig(),
+        )
+        res = run_experiment(cfg)
+        out = res.ctx.telemetry.registry.collect()
+        hist = out["dlm.batch_size"]
+        assert hist["count"] > 0
+        # Every observation is one sweep's drained batch, bounded by the
+        # layer the sweep sampled from.
+        assert 0 < hist["max"] <= cfg.n
+
+    def test_scalar_oracle_mode_skips_the_histogram(self):
+        from repro.core.config import DLMConfig
+        from repro.experiments.configs import table2_config
+        from repro.experiments.runner import run_experiment
+
+        cfg = table2_config().with_(
+            n=150,
+            seed=7,
+            horizon=120.0,
+            dlm=DLMConfig(batch_eval=False),
+            telemetry=TelemetryConfig(),
+        )
+        res = run_experiment(cfg)
+        out = res.ctx.telemetry.registry.collect()
+        assert out["dlm.batch_size"]["count"] == 0
