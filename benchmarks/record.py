@@ -56,6 +56,7 @@ from repro.experiments.configs import (  # noqa: E402
 )
 from repro.experiments.dynamic_run import run_dynamic_scenario  # noqa: E402
 from repro.experiments.figure6 import run_figure6  # noqa: E402
+from repro.experiments.figure_families import run_figure_families  # noqa: E402
 from repro.experiments.parallel import resolve_workers  # noqa: E402
 from repro.experiments.runner import run_experiment  # noqa: E402
 from repro.experiments.sweeps import sweep_dlm_parameters  # noqa: E402
@@ -155,6 +156,42 @@ def bench_harnesses(quick: bool) -> dict:
     run_table3(sizes, settle=settle, window=window)
     walls["table3"] = round(time.perf_counter() - started, 3)
     return walls
+
+
+def bench_families(quick: bool) -> dict:
+    """The cross-family grid: every policy × every overlay family.
+
+    End-to-end wall of :func:`run_figure_families` (which re-checks the
+    overlay, family, and aggregate invariants per cell), the cell
+    throughput the gate watches, and the headline cross-family shape
+    metric -- Chord's per-query message cost relative to flooding's
+    under DLM.
+    """
+    cfg = bench_config().with_(
+        search=SearchConfig(n_objects=2_000, query_rate=2.0)
+    )
+    if quick:
+        cfg = cfg.with_(n=300, horizon=100.0, warmup=20.0)
+    else:
+        cfg = cfg.with_(n=1_000, horizon=300.0, warmup=60.0)
+
+    started = time.perf_counter()
+    result = run_figure_families(cfg)
+    elapsed = time.perf_counter() - started
+    shape = result.check_shape()
+    return {
+        "n": cfg.n,
+        "horizon": cfg.horizon,
+        "cells": len(result.cells),
+        "wall_s": round(elapsed, 3),
+        "cells_per_sec": round(len(result.cells) / elapsed, 3),
+        "chord_vs_flood_message_ratio": round(
+            shape["dlm_chord_vs_flood_message_ratio"], 4
+        ),
+        "dlm_ratio_error_family_gap": round(
+            shape["dlm_ratio_error_family_gap"], 4
+        ),
+    }
 
 
 def bench_million(quick: bool) -> dict:
@@ -363,6 +400,7 @@ SECTIONS = (
     "scheduler",
     "flooding",
     "harness",
+    "families",
     "largescale",
     "million",
     "parallel",
@@ -374,6 +412,7 @@ SECTIONS = (
 THROUGHPUT_METRICS = (
     ("scheduler", "events_per_sec"),
     ("flooding", "queries_per_sec"),
+    ("families", "cells_per_sec"),
     ("largescale", "events_per_sec"),
     ("warmstart", "speedup"),
 )
@@ -384,6 +423,7 @@ THROUGHPUT_METRICS = (
 #: footprint is dominated by simulation state rather than by whatever
 #: earlier sections already pinned (ru_maxrss never goes down).
 MEMORY_METRICS = (
+    ("families", "peak_rss_mb"),
     ("largescale", "peak_rss_mb"),
     ("million", "peak_rss_mb"),
 )
@@ -549,11 +589,22 @@ def main(argv=None) -> int:
     else:
         selected = {s.strip() for s in args.sections.split(",") if s.strip()}
         unknown = selected - set(SECTIONS)
+        # A typo'd (or empty) selection must fail loudly, not record an
+        # empty JSON that --compare then waves through with warnings.
         if unknown:
-            parser.error(
-                f"unknown sections: {', '.join(sorted(unknown))} "
-                f"(choices: {', '.join(SECTIONS)})"
+            print(
+                f"error: unknown sections: {', '.join(sorted(unknown))}\n"
+                f"valid sections: {', '.join(SECTIONS)}",
+                file=sys.stderr,
             )
+            return 1
+        if not selected:
+            print(
+                "error: --sections selected nothing\n"
+                f"valid sections: {', '.join(SECTIONS)}",
+                file=sys.stderr,
+            )
+            return 1
 
     record = {
         "date": date.today().isoformat(),
@@ -592,6 +643,17 @@ def main(argv=None) -> int:
         stamp_rss("harness_wall_s")
         for name, wall in record["harness_wall_s"].items():
             print(f"  {name}: {wall}s")
+
+    if "families" in selected:
+        print("cross-family grid (policies x overlay families)...", flush=True)
+        record["families"] = bench_families(args.quick)
+        stamp_rss("families")
+        fm = record["families"]
+        print(
+            f"  n={fm['n']}: {fm['cells']} cells in {fm['wall_s']}s "
+            f"({fm['cells_per_sec']}/s), chord/flood msg ratio "
+            f"{fm['chord_vs_flood_message_ratio']}"
+        )
 
     if "largescale" in selected:
         print("large-scale churned run...", flush=True)

@@ -21,6 +21,11 @@ from .figure5 import Figure5Result, run_figure5
 from .figure6 import Figure6Result, run_figure6
 from .figure7 import Figure7Result, run_figure7
 from .figure8 import Figure8Result, run_figure8
+from .figure_families import (
+    FamilyCell,
+    FigureFamiliesResult,
+    run_figure_families,
+)
 from .parallel import WORKERS_ENV, parallel_map, resolve_workers
 from .registry import EXPERIMENTS, Experiment, all_ids, get_experiment
 from .replication import MetricStats, ReplicationResult, replicate
@@ -61,6 +66,9 @@ __all__ = [
     "run_figure7",
     "Figure8Result",
     "run_figure8",
+    "FamilyCell",
+    "FigureFamiliesResult",
+    "run_figure_families",
     "WORKERS_ENV",
     "parallel_map",
     "resolve_workers",

@@ -54,7 +54,10 @@ __all__ = [
 #: Restores refuse checkpoints written under a different schema.
 #: v3: DLM ``pending`` is the ordered drain list of the coalesced
 #: DLM_EVALUATE event (was a sorted set of per-pid events).
-SCHEMA_VERSION = 3
+#: v4: the header records the overlay ``family`` and the state carries
+#: a ``family`` entry (ring-derived state for Chord, empty for
+#: superpeer); restores refuse a family mismatch outright.
+SCHEMA_VERSION = 4
 
 #: Config fields that never affect the simulated trajectory, excluded
 #: from the compatibility hash: the run's label, how far it runs, and
@@ -94,6 +97,7 @@ def capture_run_state(result) -> dict:
         "sim": ctx.sim.snapshot(),
         "overlay": ctx.overlay.snapshot(),
         "join": ctx.join.snapshot(),
+        "family": ctx.family.snapshot(),
         "messages": ctx.messages.snapshot_state(),
         "overhead": ctx.overhead.snapshot(),
         "info": ctx.info.snapshot(),
@@ -128,6 +132,9 @@ def restore_run_state(result, state: dict, *, restore_rng: bool = True) -> None:
     sim.restore(state["sim"], restore_rng=restore_rng)
     ctx.overlay.restore(state["overlay"])
     ctx.join.restore(state["join"])
+    # After the overlay: family state (e.g. the Chord ring) is rebuilt
+    # from the restored topology plus its checkpointed extras.
+    ctx.family.restore(state["family"])
     ctx.messages.restore_state(state["messages"])
     ctx.overhead.restore(state["overhead"])
     ctx.info.restore(state["info"], sim)
@@ -143,6 +150,10 @@ def restore_run_state(result, state: dict, *, restore_rng: bool = True) -> None:
         result.workload.restore(state["workload"], sim)
     if result.directory is not None and state["directory"] is not None:
         result.directory.restore(state["directory"])
+    if result.workload is not None:
+        # Routers keep derived lookup state (backbone snapshot, provider
+        # registry) maintained by listeners restore never fires.
+        result.workload.router.resync()
     if result.checkpoint_process is not None and state["checkpoint_process"]:
         result.checkpoint_process.restore(state["checkpoint_process"], sim)
     # Absent in pre-telemetry checkpoints; restore() itself tolerates a
@@ -178,6 +189,7 @@ class CheckpointManager:
             "header": {
                 "schema": SCHEMA_VERSION,
                 "config_hash": config_hash(self.config),
+                "family": self.config.family,
                 "policy": result.policy.name,
                 "time": result.ctx.sim.now,
             },
@@ -212,7 +224,21 @@ class CheckpointManager:
 
     @staticmethod
     def validate(payload: dict, config: ExperimentConfig) -> None:
-        """Refuse to restore under a trajectory-changing config diff."""
+        """Refuse to restore under a trajectory-changing config diff.
+
+        The overlay family is checked first and by name: resuming a
+        Chord checkpoint under the superpeer family (or vice versa)
+        would rebuild the wrong structure around the restored topology,
+        so the refusal names the families instead of burying the
+        mismatch in the opaque config hash.
+        """
+        captured_family = payload["header"].get("family")
+        if captured_family != config.family:
+            raise CheckpointError(
+                f"checkpoint was written under overlay family "
+                f"{captured_family!r} but this run uses {config.family!r}; "
+                "a checkpoint can only resume under its own family"
+            )
         want = payload["header"]["config_hash"]
         have = config_hash(config)
         if want != have:

@@ -83,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
         "horizon; exercises the O(1) aggregate sampling path)",
     )
     parser.add_argument("--n", type=int, default=None, help="override network size")
+    from ..overlay.family import family_names
+
+    parser.add_argument(
+        "--family",
+        choices=family_names(),
+        default=None,
+        help="overlay family for the super-layer structure "
+        "(default: superpeer, the paper's random backbone; "
+        "chord arranges the supers in a hierarchical ring)",
+    )
     parser.add_argument(
         "--horizon", type=float, default=None, help="override simulated horizon"
     )
@@ -273,6 +283,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cfg = cfg.with_(horizon=args.horizon)
     if args.seed is not None:
         cfg = cfg.with_(seed=args.seed)
+    if args.family is not None:
+        cfg = cfg.with_(family=args.family)
     if args.loss is not None or args.latency_scale is not None:
         from ..protocol.faults import FaultPlan
 

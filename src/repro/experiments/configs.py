@@ -78,6 +78,12 @@ class ExperimentConfig:
     dlm: Optional[DLMConfig] = None
     search: Optional[SearchConfig] = None
     faults: Optional[FaultPlan] = None
+    #: Overlay family owning the super-layer's link structure and query
+    #: routing (see :mod:`repro.overlay.family`): ``"superpeer"`` is the
+    #: paper's random backbone, ``"chord"`` the hierarchical ring.
+    #: Trajectory-determining, so it participates in the checkpoint
+    #: config hash (and the checkpoint header records it explicitly).
+    family: str = "superpeer"
     #: Write a checkpoint every this many time units (None: no writer).
     #: Excluded from the checkpoint-compat config hash: changing the
     #: writing cadence never changes the simulated trajectory.
@@ -104,6 +110,13 @@ class ExperimentConfig:
                 raise ValueError("checkpoint_every must be positive")
             if self.checkpoint_path is None:
                 raise ValueError("checkpoint_every requires checkpoint_path")
+        from ..overlay.family import family_names
+
+        if self.family not in family_names():
+            raise ValueError(
+                f"unknown overlay family {self.family!r}; "
+                f"known: {', '.join(family_names())}"
+            )
 
     @property
     def k_l(self) -> float:

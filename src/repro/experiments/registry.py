@@ -17,6 +17,7 @@ from .figure5 import run_figure5
 from .figure6 import run_figure6
 from .figure7 import run_figure7
 from .figure8 import run_figure8
+from .figure_families import run_figure_families
 from .figure_faults import run_figure_faults
 from .table3 import run_table3
 
@@ -95,6 +96,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Extension",
             "Ratio maintenance and overhead under message loss/latency",
             run_figure_faults,
+        ),
+        Experiment(
+            "families",
+            "Extension",
+            "Ratio tracking and query cost across overlay families",
+            run_figure_families,
         ),
     )
 }

@@ -24,7 +24,6 @@ from ..core.policy import LayerPolicy
 from ..metrics.layerstats import LayerStatsSampler
 from ..metrics.timeseries import SeriesBundle
 from ..search.content import ContentCatalog
-from ..search.flooding import FloodRouter
 from ..search.index import ContentDirectory
 from ..search.workload import QueryWorkload
 from ..sim.processes import PeriodicProcess
@@ -123,6 +122,7 @@ def run_experiment(
         faults=config.faults,
         rng_domain=fresh_rng_domain if fresh_rng_domain is not None else 0,
         telemetry=telemetry,
+        family=config.family,
     )
     policy = policy_factory(config)
     policy.bind(ctx)
@@ -162,9 +162,7 @@ def run_experiment(
             ctx.sim.rng.get("content"),
             files_per_peer=sc.files_per_peer,
         )
-        router = FloodRouter(
-            ctx.overlay, directory, ttl=sc.ttl, ledger=ctx.messages
-        )
+        router = ctx.family.build_router(directory, sc, ledger=ctx.messages)
         workload = QueryWorkload(
             ctx.sim, ctx.overlay, catalog, router, rate=sc.query_rate
         )

@@ -6,6 +6,13 @@ DLM "the new peer is always assigned to leaf layer first" (§5).  The only
 exception is the cold start: while the network has no super-peers at all,
 joiners seed the super-layer directly so that subsequent leaves have
 somewhere to attach.
+
+*What* links a joiner creates is the bound
+:class:`~repro.overlay.family.OverlayFamily`'s decision (random backbone
+picks for the superpeer family, ring insertion for Chord); this module
+owns the family-agnostic parts -- pid allocation, cold-start seeding,
+and the random leaf->super selection helper every family's leaf tier
+shares.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .family import OverlayFamily
 from .peer import Peer
 from .roles import Role
 from .topology import Overlay
@@ -37,6 +45,11 @@ class JoinProcedure:
         Cold-start threshold: while ``n_super < seed_supers`` joiners
         become super-peers directly (default 1 -- only the very first
         peer).
+    family:
+        The :class:`~repro.overlay.family.OverlayFamily` owning
+        structure-specific attachment (default: a fresh superpeer
+        family).  The join procedure is the family's single wiring
+        point: it binds the family to this overlay/rng/degree set.
     """
 
     def __init__(
@@ -47,6 +60,7 @@ class JoinProcedure:
         *,
         k_s: int = 3,
         seed_supers: int = 1,
+        family: Optional[OverlayFamily] = None,
     ) -> None:
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
@@ -58,6 +72,12 @@ class JoinProcedure:
         self.rng = rng
         self.seed_supers = seed_supers
         self._next_id = 0
+        if family is None:
+            from .families.superpeer import SuperPeerFamily
+
+            family = SuperPeerFamily()
+        self.family = family
+        family.wire(overlay=overlay, join=self, m=m, k_s=k_s)
 
     def next_pid(self) -> int:
         """Allocate a fresh peer id."""
@@ -91,8 +111,10 @@ class JoinProcedure:
         ``role=None`` the peer joins as a leaf, except during cold start
         (see ``seed_supers``) when it seeds the super-layer.
 
-        A joining leaf makes ``m`` connections to random super-peers; a
-        joining super makes ``k_s`` backbone connections.
+        Attachment is the bound family's: under the superpeer family a
+        joining leaf makes ``m`` connections to random super-peers and a
+        joining super makes ``k_s`` backbone connections; the Chord
+        family inserts supers into the ring instead.
         """
         if pid is None:
             pid = self.next_pid()
@@ -110,10 +132,9 @@ class JoinProcedure:
         )
         self.overlay.add_peer(peer)
         if role is Role.SUPER:
-            for sid in self.overlay.random_supers(self.rng, self.k_s, exclude=(pid,)):
-                self.overlay.connect(pid, sid)
+            self.family.attach_super(pid)
         else:
-            self.connect_leaf(pid, self.m)
+            self.family.attach_leaf(pid)
         return peer
 
     def connect_leaf(self, pid: int, want: int) -> List[int]:

@@ -1,0 +1,11 @@
+"""Built-in overlay families.
+
+Importing this package registers every built-in family with
+:mod:`repro.overlay.family`'s registry; :func:`~repro.overlay.family.
+make_family` triggers the import lazily.
+"""
+
+from .chord_ring import ChordRingFamily, ring_key
+from .superpeer import SuperPeerFamily
+
+__all__ = ["SuperPeerFamily", "ChordRingFamily", "ring_key"]

@@ -1,0 +1,74 @@
+"""The Gnutella-style super-peer family (the paper's own overlay).
+
+This is the behavior PRs 1-6 implemented inline in ``bootstrap.py`` and
+``maintenance.py``, extracted verbatim behind the
+:class:`~repro.overlay.family.OverlayFamily` interface:
+
+* a joining super connects to ``k_s`` random super-peers;
+* a joining leaf connects to ``m`` random super-peers;
+* maintenance tops a super's backbone degree back up to ``k_s`` with
+  random picks, so repaired links stay statistically indistinguishable
+  from join-time links (the §3 randomness assumption);
+* queries flood the backbone with a TTL
+  (:class:`~repro.search.flooding.FloodRouter`).
+
+Parity contract: every random draw here goes through the same stream
+(``join.rng``, the ``"bootstrap"`` stream) in the same order as the
+pre-refactor inline code, and the family installs no listeners -- so a
+``family="superpeer"`` run is bit-identical to the pre-refactor goldens.
+"""
+
+from __future__ import annotations
+
+from ..family import OverlayFamily, register_family
+from ..peerstore import ROLE_SUPER
+
+__all__ = ["SuperPeerFamily"]
+
+
+@register_family("superpeer")
+class SuperPeerFamily(OverlayFamily):
+    """Randomly-wired two-layer overlay with TTL flooding."""
+
+    name = "superpeer"
+
+    # -- bootstrap attachment --------------------------------------------
+    def attach_super(self, pid: int) -> None:
+        """A joining super makes ``k_s`` random backbone connections."""
+        overlay = self.overlay
+        for sid in overlay.random_supers(self.join.rng, self.k_s, exclude=(pid,)):
+            overlay.connect(pid, sid)
+
+    def attach_leaf(self, pid: int) -> None:
+        """A joining leaf makes ``m`` random super connections."""
+        self.join.connect_leaf(pid, self.m)
+
+    # -- maintenance repair ----------------------------------------------
+    def repair_super(self, pid: int) -> int:
+        """Top a super's backbone links back up to ``k_s``; returns links
+        added (0 if the peer is gone or no longer a super)."""
+        overlay = self.overlay
+        store = overlay.store
+        slot = store.slot(pid)
+        if slot < 0 or store.role[slot] != ROLE_SUPER:
+            return 0
+        sn = store.sn[slot]
+        deficit = self.k_s - len(sn)
+        if deficit <= 0:
+            return 0
+        exclude = set(sn)
+        exclude.add(pid)
+        added = 0
+        for sid in overlay.random_supers(self.join.rng, deficit, exclude=exclude):
+            if overlay.connect(pid, sid):
+                added += 1
+        return added
+
+    # -- query routing ----------------------------------------------------
+    def build_router(self, directory, search_config, *, ledger=None):
+        """TTL-bounded flooding over the random backbone."""
+        from ...search.flooding import FloodRouter
+
+        return FloodRouter(
+            self.overlay, directory, ttl=search_config.ttl, ledger=ledger
+        )

@@ -1,0 +1,222 @@
+"""The overlay-family plane: structure-specific behavior behind one interface.
+
+The DLM election core (µ estimation + scaled Y/Z comparison, §4) is
+defined over a generic layered population; nothing in it depends on
+*how* the super-layer is wired.  An :class:`OverlayFamily` owns exactly
+the parts that do depend on it:
+
+* **bootstrap attachment** -- what links a joining super/leaf creates
+  (:meth:`attach_super` / :meth:`attach_leaf`);
+* **maintenance repair** -- how a super's structural links are topped
+  up or stabilized (:meth:`repair_super`), plus the healing hooks after
+  promotions, demotions, and super deaths;
+* **transition mapping** -- which role a promotion/demotion lands in
+  (:meth:`transition_target`), so a family with more than two tiers
+  cannot silently inherit the two-layer flip;
+* **query routing** -- which router the search plane runs over the
+  structure (:meth:`build_router`);
+* **family invariants and state** -- extra structural checks beyond
+  :meth:`Overlay.check_invariants`, and checkpoint snapshot/restore of
+  any state the family keeps outside the :class:`PeerStore` columns.
+
+Everything else stays family-agnostic by construction: the columnar
+:class:`~repro.overlay.peerstore.PeerStore`, the O(1) aggregates, DLM
+(:mod:`repro.core.dlm`, ``comparison``, ``transitions``), checkpointing,
+and telemetry never ask which family is running.
+
+Families register themselves by name (:func:`register_family`);
+:func:`make_family` is the config-string -> instance factory the
+composition root (:func:`repro.context.build_context`) uses.  The
+``"superpeer"`` family is the Gnutella-style overlay of PRs 1-6 and is
+bit-identical to the pre-refactor behavior; ``"chord"`` arranges the
+supers in a hierarchical Chord ring (PAPERS.md: "Three Layer
+Hierarchical Model for Chord").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Tuple
+
+from .roles import Role
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bootstrap import JoinProcedure
+    from .topology import Overlay
+
+__all__ = [
+    "OverlayFamily",
+    "register_family",
+    "make_family",
+    "family_names",
+    "DEFAULT_FAMILY",
+]
+
+#: The config default; the Gnutella-style overlay of the original paper.
+DEFAULT_FAMILY = "superpeer"
+
+_FAMILIES: Dict[str, Callable[[], "OverlayFamily"]] = {}
+
+
+def register_family(name: str):
+    """Class decorator: make a family constructible by config name."""
+
+    def deco(cls):
+        _FAMILIES[name] = cls
+        return cls
+
+    return deco
+
+
+def _load_builtin_families() -> None:
+    # Importing the subpackage runs the register_family decorators; done
+    # lazily so family.py itself stays import-cycle free.
+    from . import families  # noqa: F401
+
+
+def family_names() -> Tuple[str, ...]:
+    """The registered family names, sorted (CLI choices, validation)."""
+    _load_builtin_families()
+    return tuple(sorted(_FAMILIES))
+
+
+def make_family(name: str) -> "OverlayFamily":
+    """Instantiate a registered family by its config name."""
+    _load_builtin_families()
+    try:
+        return _FAMILIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise ValueError(f"unknown overlay family {name!r} (known: {known})")
+
+
+class OverlayFamily:
+    """Structure-specific link policy, repair, and routing for one overlay.
+
+    A family is created unbound; :class:`~repro.overlay.bootstrap.
+    JoinProcedure` wires it (:meth:`wire`) to the overlay it manages,
+    which also gives it the degree parameters and the bootstrap RNG
+    stream (``self.join.rng``).  Families that maintain derived
+    structure (the Chord ring) install overlay listeners in
+    :meth:`_install`.
+    """
+
+    #: Config name of the family (class attribute on subclasses).
+    name: ClassVar[str] = "abstract"
+    #: The roles this family manages, in promotion order (lowest tier
+    #: last).  The default two-layer mapping in :meth:`transition_target`
+    #: only applies when this has exactly two entries.
+    roles: ClassVar[Tuple[Role, ...]] = (Role.SUPER, Role.LEAF)
+
+    def __init__(self) -> None:
+        self.overlay: "Overlay" = None  # type: ignore[assignment]
+        self.join: "JoinProcedure" = None  # type: ignore[assignment]
+        self.m = 0
+        self.k_s = 0
+
+    # -- wiring ----------------------------------------------------------
+    def wire(
+        self, *, overlay: "Overlay", join: "JoinProcedure", m: int, k_s: int
+    ) -> None:
+        """Bind to the overlay this family manages (once, at composition)."""
+        if self.overlay is not None:
+            raise RuntimeError(f"family {self.name!r} is already wired")
+        self.overlay = overlay
+        self.join = join
+        self.m = m
+        self.k_s = k_s
+        self._install()
+
+    def _install(self) -> None:
+        """Register overlay listeners for family-derived state (optional)."""
+
+    # -- transition mapping (the promotion/demotion contract) ------------
+    def transition_target(self, role: Role) -> Role:
+        """The role a transition from ``role`` lands in.
+
+        The default implementation is the two-layer flip and is only
+        valid when :attr:`roles` has exactly two entries; families with
+        more tiers must override it.  Raises ``ValueError`` for a role
+        the family does not manage -- the guard that keeps a three-tier
+        family from silently reusing the two-layer mapping.
+        """
+        if len(self.roles) != 2:
+            raise NotImplementedError(
+                f"family {self.name!r} has {len(self.roles)} tiers and must "
+                "override transition_target"
+            )
+        a, b = self.roles
+        if role is a:
+            return b
+        if role is b:
+            return a
+        raise ValueError(f"family {self.name!r} does not manage role {role}")
+
+    # -- bootstrap attachment --------------------------------------------
+    def attach_super(self, pid: int) -> None:
+        """Wire a newly added super-peer into the super-layer structure."""
+        raise NotImplementedError
+
+    def attach_leaf(self, pid: int) -> None:
+        """Wire a newly added leaf into the super-layer."""
+        raise NotImplementedError
+
+    # -- maintenance repair ----------------------------------------------
+    def repair_super(self, pid: int) -> int:
+        """Restore one super-peer's structural links; returns links added.
+
+        Called by the periodic maintenance sweep for every super, and by
+        backbone repair after a neighbor's death.  Must tolerate ``pid``
+        having left or been demoted since the caller looked (return 0).
+        """
+        raise NotImplementedError
+
+    def connect_promoted(self, pid: int) -> int:
+        """Structure wiring after ``pid``'s promotion; returns links added.
+
+        Default: the same repair as any under-linked super.
+        """
+        return self.repair_super(pid)
+
+    def heal_ring(self) -> int:
+        """Family-specific healing after a super left the structure.
+
+        Called at the end of the demotion and super-death repair paths.
+        Structureless families (superpeer) have nothing to heal; the
+        Chord family stabilizes the predecessors of departed ring
+        members here.  Returns links added.
+        """
+        return 0
+
+    # -- query routing ----------------------------------------------------
+    def build_router(self, directory, search_config, *, ledger=None):
+        """The query router the search plane should run over this family."""
+        raise NotImplementedError
+
+    # -- invariants / export / checkpoint ---------------------------------
+    def check_invariants(self) -> None:
+        """Family-specific structural invariants (in addition to
+        :meth:`Overlay.check_invariants`); raise on violation."""
+
+    def annotate_graph(self, g) -> None:
+        """Add family-specific attributes to a networkx export (optional)."""
+
+    def snapshot(self) -> dict:
+        """Checkpoint state the family keeps beyond the store columns."""
+        return {}
+
+    def restore(self, state: dict) -> None:
+        """Rebuild family state after the overlay has been restored."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _ordered_unique(items: List[int]) -> List[int]:
+    """Order-preserving dedup helper shared by family implementations."""
+    seen = set()
+    out = []
+    for x in items:
+        if x not in seen:
+            seen.add(x)
+            out.append(x)
+    return out

@@ -7,19 +7,30 @@ than the live adjacency, so exports are explicit copies.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import networkx as nx
 
+from .family import OverlayFamily
 from .topology import Overlay
 
 __all__ = ["to_networkx", "backbone_graph"]
 
 
-def to_networkx(overlay: Overlay, *, now: float = 0.0) -> nx.Graph:
+def to_networkx(
+    overlay: Overlay, *, now: float = 0.0, family: Optional[OverlayFamily] = None
+) -> nx.Graph:
     """Full overlay snapshot with per-node attributes.
 
     Node attributes: ``role`` ("super"/"leaf"), ``capacity``, ``age``.
     Edge attribute: ``layer`` ("backbone" for super--super, "access" for
     leaf--super).
+
+    Passing the run's bound ``family`` lets it annotate the snapshot
+    with structure only it knows about -- the Chord family adds ring
+    keys, a unit-circle ``pos`` layout for the supers, and a ``ring``
+    attribute ("successor"/"finger") on the backbone edges the ring
+    justifies.  The superpeer family adds nothing.
     """
     g = nx.Graph()
     for peer in overlay.peers():
@@ -37,6 +48,8 @@ def to_networkx(overlay: Overlay, *, now: float = 0.0) -> nx.Graph:
             elif peer.pid < sid:
                 # Backbone edges appear on both endpoints; dedup by order.
                 g.add_edge(peer.pid, sid, layer="backbone")
+    if family is not None:
+        family.annotate_graph(g)
     return g
 
 

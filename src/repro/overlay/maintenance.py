@@ -9,18 +9,23 @@ Keeps the overlay's degree targets after disruptive events:
   replacement super-peers -- for a demotion each orphan creates exactly
   one new connection, the unit of Peer Adjustment Overhead in §6.
 
-All repairs go through :class:`~repro.overlay.bootstrap.JoinProcedure`'s
-random selection so repaired links are statistically indistinguishable
-from join-time links (the randomness assumption §3 relies on).
+Leaf-side repairs go through :class:`~repro.overlay.bootstrap.
+JoinProcedure`'s random selection so repaired links are statistically
+indistinguishable from join-time links (the randomness assumption §3
+relies on).  Super-side repair is structure-specific and delegates to
+the bound :class:`~repro.overlay.family.OverlayFamily`: the superpeer
+family tops backbone degree back up with random picks, the Chord family
+stabilizes ring successors/fingers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from .bootstrap import JoinProcedure
-from .peerstore import ROLE_LEAF, ROLE_SUPER
+from .family import OverlayFamily
+from .peerstore import ROLE_LEAF
 from .topology import Overlay
 
 __all__ = ["Maintenance", "RepairReport"]
@@ -50,11 +55,15 @@ class Maintenance:
         *,
         m: int,
         k_s: int,
+        family: Optional[OverlayFamily] = None,
     ) -> None:
         self.overlay = overlay
         self.join = join
         self.m = m
         self.k_s = k_s
+        #: Structure-specific super-side repair (default: the family the
+        #: join procedure is already bound to).
+        self.family = family if family is not None else join.family
 
     # -- leaf side -------------------------------------------------------
     def ensure_leaf_links(self, pid: int) -> int:
@@ -89,22 +98,13 @@ class Maintenance:
 
     # -- super side --------------------------------------------------------
     def ensure_super_links(self, pid: int) -> int:
-        """Top a super's backbone links back up to ``k_s``; returns links added."""
-        store = self.overlay.store
-        slot = store.slot(pid)
-        if slot < 0 or store.role[slot] != ROLE_SUPER:
-            return 0
-        sn = store.sn[slot]
-        deficit = self.k_s - len(sn)
-        if deficit <= 0:
-            return 0
-        exclude = set(sn)
-        exclude.add(pid)
-        added = 0
-        for sid in self.overlay.random_supers(self.join.rng, deficit, exclude=exclude):
-            if self.overlay.connect(pid, sid):
-                added += 1
-        return added
+        """Restore a super's structural links; returns links added.
+
+        Family-delegated: degree top-up for the superpeer family, ring
+        stabilization for Chord.  Safe to call on a departed or demoted
+        pid (returns 0).
+        """
+        return self.family.repair_super(pid)
 
     def repair_backbone(self, former_supers: Iterable[int]) -> RepairReport:
         """Restore backbone degree of supers that lost a super neighbor."""
@@ -121,20 +121,24 @@ class Maintenance:
         """Repairs after a super-peer leaves the network."""
         report = self.reconnect_orphans(orphans)
         report.merge(self.repair_backbone(former_supers))
+        report.super_reconnections += self.family.heal_ring()
         return report
 
     def after_demotion(self, demoted: int, orphans: List[int]) -> RepairReport:
         """Repairs after a demotion (Figure 3): orphans reconnect once each;
-        the demoted peer itself is topped up to ``m`` super links."""
+        the demoted peer itself is topped up to ``m`` super links; ring
+        families additionally heal the vacated ring position."""
         report = self.reconnect_orphans(orphans)
         self.ensure_leaf_links(demoted)
+        report.super_reconnections += self.family.heal_ring()
         return report
 
     def after_promotion(self, promoted: int) -> RepairReport:
-        """Repairs after a promotion (Figure 2): the new super-peer fills
-        its backbone degree to ``k_s``."""
+        """Repairs after a promotion (Figure 2): the new super-peer is
+        wired into the super-layer structure (backbone degree fill for
+        the superpeer family; ring links for Chord)."""
         report = RepairReport()
-        report.super_reconnections += self.ensure_super_links(promoted)
+        report.super_reconnections += self.family.connect_promoted(promoted)
         return report
 
     def sweep(self) -> RepairReport:

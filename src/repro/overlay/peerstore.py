@@ -75,6 +75,9 @@ _SCALAR_COLUMNS = (
     # last committed evaluation, -inf = never evaluated.  Kept columnar so
     # the batch planner's min-eval-interval gate is one vectorized compare.
     ("last_eval", np.float64, -np.inf),
+    # Ring successor pid for ring-structured overlay families (the Chord
+    # family); -1 for leaves, detached rows, and non-ring families.
+    ("ring_succ", np.int64, -1),
 )
 
 
@@ -93,8 +96,10 @@ class PeerStore:
         "n_super_links",
         "n_leaf_links",
         "last_eval",
+        "ring_succ",
         "sn",
         "ct",
+        "fg",
         "ln",
         "kn",
         "dv",
@@ -118,6 +123,10 @@ class PeerStore:
         #: lazy knowledge cache, and the cached Peer view per slot.
         self.sn: List[tuple] = [()] * cap
         self.ct: List[tuple] = [()] * cap
+        #: Ring finger pids (tuple) for ring-structured families; always
+        #: ``()`` outside the Chord family, so non-ring runs pay only the
+        #: list slot.
+        self.fg: List[tuple] = [()] * cap
         self.ln: List[Optional[CountedIdSet]] = [None] * cap
         #: Pending death event per slot (owned by the churn driver; kept
         #: columnar so a million peers don't need a million-entry dict).
@@ -154,6 +163,7 @@ class PeerStore:
         pad = new - old
         self.sn.extend([()] * pad)
         self.ct.extend([()] * pad)
+        self.fg.extend([()] * pad)
         self.ln.extend([None] * pad)
         self.kn.extend([None] * pad)
         self.dv.extend([None] * pad)
@@ -169,7 +179,7 @@ class PeerStore:
         """
         total = sum(getattr(self, name).nbytes for name, _d, _f in _SCALAR_COLUMNS)
         total += self._slot_by_pid.nbytes
-        total += 6 * 8 * len(self.pid)  # the six object-column list slots
+        total += 7 * 8 * len(self.pid)  # the seven object-column list slots
         return total
 
     # -- pid -> slot mapping ------------------------------------------------
@@ -246,8 +256,10 @@ class PeerStore:
         self.n_super_links[s] = 0
         self.n_leaf_links[s] = 0
         self.last_eval[s] = -np.inf
+        self.ring_succ[s] = -1
         self.sn[s] = ()
         self.ct[s] = ()
+        self.fg[s] = ()
         self.ln[s] = None
         self.kn[s] = None
         self.dv[s] = None
@@ -262,8 +274,10 @@ class PeerStore:
             self._unregister(int(self.pid[slot]))
         self.pid[slot] = -1
         self.alive[slot] = False
+        self.ring_succ[slot] = -1
         self.sn[slot] = ()
         self.ct[slot] = ()
+        self.fg[slot] = ()
         self.ln[slot] = None
         self.kn[slot] = None
         self.dv[slot] = None

@@ -1,8 +1,17 @@
 """Peer roles.
 
-A super-peer overlay has exactly two layers (paper §3): the *super-layer*
-whose members relay queries and index their leaves' content, and the
-*leaf-layer* whose members hold ``m`` links into the super-layer.
+The paper's super-peer overlay has exactly two layers (§3): the
+*super-layer* whose members relay queries and index their leaves'
+content, and the *leaf-layer* whose members hold ``m`` links into the
+super-layer.  Other overlay families (see :mod:`repro.overlay.family`)
+reuse the same two role codes -- e.g. the hierarchical Chord family's
+supers form a ring -- and a future three-tier family may extend the
+enum.
+
+Which role a promotion or demotion lands in is a *family* decision:
+use :meth:`~repro.overlay.family.OverlayFamily.transition_target`
+rather than assuming the two-layer flip, so that a family with more
+than two tiers cannot silently inherit the wrong mapping.
 """
 
 from __future__ import annotations
@@ -20,7 +29,14 @@ class Role(enum.Enum):
 
     @property
     def other(self) -> "Role":
-        """The opposite layer (promotion/demotion target)."""
+        """The opposite layer in a *two-layer* family.
+
+        Valid only for the SUPER/LEAF pair; kept for the two-layer
+        families and tests.  Structure-aware code must ask the bound
+        family's ``transition_target`` instead -- that mapping is the
+        authoritative promotion/demotion contract and raises on roles
+        it does not manage, where this property would silently guess.
+        """
         return Role.LEAF if self is Role.SUPER else Role.SUPER
 
     def __str__(self) -> str:

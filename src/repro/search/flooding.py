@@ -104,6 +104,16 @@ class FloodRouter:
         overlay.add_membership_listener(self._on_membership)
         overlay.add_role_listener(self._on_role)
 
+    def resync(self) -> None:
+        """Invalidate derived state after a checkpoint restore.
+
+        Restore loads topology without firing link events, so the lazy
+        backbone snapshot must be marked stale explicitly.  (Routers
+        share this protocol; the flood router's state is all derived,
+        so invalidation is the whole job.)
+        """
+        self._dirty = True
+
     def _hop_delay(self) -> float:
         assert self.latency is not None and self.rng is not None
         return self.latency.sample_one(self.rng)

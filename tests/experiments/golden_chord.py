@@ -1,0 +1,99 @@
+"""Golden baseline for the Chord-ring overlay family.
+
+The cross-family contract has two halves.  The superpeer half is the
+existing goldens (``golden_phase1.json``, ``golden_layerstats.json``):
+the family refactor must leave the default family's sample paths
+bit-identical, so those files are *not* regenerated.  This module is the
+Chord half: a seeded DLM run over the hierarchical Chord ring with the
+search plane enabled, reduced to a bit-sensitive fingerprint held in
+``golden_chord.json`` -- any drift in ring insertion, stabilization
+order, greedy routing, or the shared planes' draws shows up as a digest
+mismatch.
+
+Regenerate (only when a change is *intended* to alter chord-family
+sample paths)::
+
+    PYTHONPATH=src:. python tests/experiments/golden_chord.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.experiments.golden_phase1 import series_digest
+
+GOLDEN_PATH = Path(__file__).with_name("golden_chord.json")
+
+GOLDEN_N = 250
+GOLDEN_HORIZON = 150.0
+GOLDEN_WARMUP = 30.0
+GOLDEN_SEED = 11
+
+
+def golden_config():
+    """A chord-family DLM run with the query workload live."""
+    from repro.experiments.configs import SearchConfig, bench_config
+
+    return bench_config().with_(
+        n=GOLDEN_N,
+        horizon=GOLDEN_HORIZON,
+        warmup=GOLDEN_WARMUP,
+        seed=GOLDEN_SEED,
+        family="chord",
+        search=SearchConfig(n_objects=500, query_rate=2.0, files_per_peer=5),
+    )
+
+
+def chord_fingerprint() -> dict:
+    """One seeded chord run reduced to bit-sensitive scalars."""
+    from repro.experiments.runner import run_experiment
+
+    result = run_experiment(golden_config())
+    # The golden run doubles as a health check: structural and ring
+    # invariants must hold at the horizon before we fingerprint it.
+    result.ctx.overlay.check_invariants(aggregates=True)
+    result.ctx.family.check_invariants()
+    overlay = result.overlay
+    ledger = result.ctx.messages
+    stats = result.query_stats
+    return {
+        "series_digest": series_digest(result.series),
+        "n_super": overlay.n_super,
+        "n_leaf": overlay.n_leaf,
+        "total_promotions": overlay.total_promotions,
+        "total_demotions": overlay.total_demotions,
+        "total_connections": overlay.total_connections_created,
+        "dlm_messages": ledger.dlm_messages,
+        "dlm_bytes": ledger.dlm_bytes,
+        "evaluations": result.policy.evaluations,
+        "queries_issued": stats.issued,
+        "queries_succeeded": stats.succeeded,
+        "total_hits": stats.total_hits,
+        "query_messages": stats.total_query_messages,
+        "hit_messages": stats.total_hit_messages,
+        "supers_visited": stats.total_supers_visited,
+    }
+
+
+def compute_golden() -> dict:
+    return {
+        "config": {
+            "n": GOLDEN_N,
+            "horizon": GOLDEN_HORIZON,
+            "warmup": GOLDEN_WARMUP,
+            "seed": GOLDEN_SEED,
+        },
+        "chord": chord_fingerprint(),
+    }
+
+
+def main() -> int:
+    record = compute_golden()
+    GOLDEN_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

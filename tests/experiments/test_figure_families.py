@@ -1,0 +1,71 @@
+"""Unit tests for the cross-family comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import SearchConfig, bench_config
+from repro.experiments.figure_families import run_figure_families
+
+
+def tiny_config():
+    return bench_config().with_(
+        n=150,
+        horizon=50.0,
+        warmup=10.0,
+        search=SearchConfig(n_objects=300, query_rate=2.0, files_per_peer=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure_families(
+        tiny_config(), contenders=("DLM", "static (none)"), n_workers=2
+    )
+
+
+class TestFigureFamilies:
+    def test_full_grid(self, result):
+        assert len(result.cells) == 4  # 2 families x 2 policies
+        pairs = {(c.family, c.policy) for c in result.cells}
+        assert pairs == {
+            ("superpeer", "DLM"),
+            ("superpeer", "static (none)"),
+            ("chord", "DLM"),
+            ("chord", "static (none)"),
+        }
+
+    def test_same_workload_across_families(self, result):
+        # Query issuance is a shared-plane draw: identical per policy
+        # whatever the super-layer structure is.
+        for policy in ("DLM", "static (none)"):
+            issued = {
+                c.queries_issued for c in result.cells if c.policy == policy
+            }
+            assert len(issued) == 1
+
+    def test_check_shape_keys(self, result):
+        shape = result.check_shape()
+        assert shape["cells"] == 4
+        for fam in ("superpeer", "chord"):
+            assert f"{fam}_dlm_ratio_error" in shape
+            assert 0.0 <= shape[f"{fam}_dlm_query_success"] <= 1.0
+        assert shape["dlm_chord_vs_flood_message_ratio"] > 0.0
+        assert shape["dlm_ratio_error_family_gap"] >= 0.0
+
+    def test_render_blocks(self, result):
+        text = result.render()
+        assert "[superpeer]" in text and "[chord]" in text
+        assert text.count("DLM") >= 2
+
+    def test_missing_cell_is_a_keyerror(self, result):
+        with pytest.raises(KeyError):
+            result._cell("chord", "oracle")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policies"):
+            run_figure_families(tiny_config(), contenders=("DLM", "nope"))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown overlay family"):
+            run_figure_families(tiny_config(), families=("superpeer", "pastry"))

@@ -1,0 +1,34 @@
+"""Golden bit-identity of the Chord-ring family.
+
+Together with ``test_golden_phase1.py`` (which pins the superpeer
+family's pre-refactor sample paths) this is the cross-family golden
+pair: the default family must not move, and the Chord family's own
+sample path is pinned here so ring/routing changes cannot drift
+silently.
+
+If a change is *intended* to alter chord-family sample paths,
+regenerate with ``PYTHONPATH=src:. python tests/experiments/golden_chord.py``
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.experiments.golden_chord import GOLDEN_PATH, chord_fingerprint
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenChord:
+    def test_chord_bit_identical(self, golden):
+        fresh = chord_fingerprint()
+        # Digest first: the strongest claim and the most useful failure
+        # message (the scalar tallies localize a mismatch after).
+        assert fresh["series_digest"] == golden["chord"]["series_digest"]
+        assert fresh == golden["chord"]

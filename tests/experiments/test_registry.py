@@ -20,6 +20,7 @@ class TestRegistry:
             "figure7",
             "figure8",
             "figure_faults",
+            "families",
             "table3",
         }
 

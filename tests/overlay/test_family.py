@@ -1,0 +1,130 @@
+"""Unit tests for the overlay-family plane: registry, transition
+mapping, wiring discipline, and the family-aware graph export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import build_context
+from repro.core.transitions import TransitionExecutor
+from repro.overlay.families.chord_ring import ChordRingFamily, ring_key
+from repro.overlay.families.superpeer import SuperPeerFamily
+from repro.overlay.family import (
+    DEFAULT_FAMILY,
+    OverlayFamily,
+    family_names,
+    make_family,
+)
+from repro.overlay.graph_export import to_networkx
+from repro.overlay.roles import Role
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        assert family_names() == ("chord", "superpeer")
+        assert DEFAULT_FAMILY == "superpeer"
+
+    def test_make_family_by_name(self):
+        assert isinstance(make_family("superpeer"), SuperPeerFamily)
+        assert isinstance(make_family("chord"), ChordRingFamily)
+
+    def test_make_family_returns_fresh_instances(self):
+        assert make_family("chord") is not make_family("chord")
+
+    def test_unknown_family_rejected_with_known_names(self):
+        with pytest.raises(ValueError, match="superpeer"):
+            make_family("kademlia")
+
+
+class TestTransitionTarget:
+    @pytest.mark.parametrize("family", ["superpeer", "chord"])
+    def test_two_layer_flip(self, family):
+        fam = make_family(family)
+        assert fam.transition_target(Role.LEAF) is Role.SUPER
+        assert fam.transition_target(Role.SUPER) is Role.LEAF
+
+    def test_multi_tier_family_must_override(self):
+        class ThreeTier(OverlayFamily):
+            name = "three-tier"
+            roles = (Role.SUPER, Role.LEAF, Role.LEAF)
+
+        with pytest.raises(NotImplementedError, match="override"):
+            ThreeTier().transition_target(Role.LEAF)
+
+    def test_executor_refuses_off_mapping_family(self):
+        # A family whose transitions land outside the two-layer flip
+        # must make the executor fail loudly, not apply the wrong flip.
+        class Stuck(SuperPeerFamily):
+            name = "stuck"
+
+            def transition_target(self, role):
+                return role  # never leaves the layer
+
+        ctx = build_context(seed=3, family=Stuck())
+        for _ in range(4):
+            ctx.join.join(0.0, 1.0, lifetime=1.0)
+        executor = TransitionExecutor(ctx)
+        leaf = sorted(ctx.overlay.leaf_ids)[0]
+        with pytest.raises(NotImplementedError, match="two-layer executor"):
+            executor.promote(leaf)
+
+
+class TestWiring:
+    def test_wire_is_once_only(self):
+        ctx = build_context(seed=1, family="chord")
+        with pytest.raises(RuntimeError, match="already wired"):
+            ctx.family.wire(
+                overlay=ctx.overlay, join=ctx.join, m=ctx.m, k_s=ctx.k_s
+            )
+
+    def test_context_accepts_instance_or_name(self):
+        fam = make_family("chord")
+        ctx = build_context(seed=1, family=fam)
+        assert ctx.family is fam
+        assert isinstance(build_context(seed=1, family="chord").family, ChordRingFamily)
+
+
+class TestRingKey:
+    def test_deterministic_and_64_bit(self):
+        assert ring_key(42) == ring_key(42)
+        for pid in range(200):
+            assert 0 <= ring_key(pid) < (1 << 64)
+
+    def test_spreads_small_pids(self):
+        keys = {ring_key(pid) for pid in range(100)}
+        assert len(keys) == 100  # no collisions on a small dense range
+
+    def test_ring_owner_empty_ring_raises(self):
+        fam = make_family("chord")
+        with pytest.raises(LookupError):
+            fam.ring_owner(0)
+
+
+class TestFamilyAwareExport:
+    def _chord_ctx(self, n=12):
+        ctx = build_context(seed=5, family="chord")
+        for i in range(n):
+            role = Role.SUPER if i < 4 else None
+            ctx.join.join(0.0, 1.0, lifetime=1.0, role=role)
+        ctx.maintenance.sweep()
+        return ctx
+
+    def test_chord_annotations(self):
+        ctx = self._chord_ctx()
+        g = to_networkx(ctx.overlay, family=ctx.family)
+        supers = set(ctx.overlay.super_ids)
+        for pid in supers:
+            assert g.nodes[pid]["ring_key"] == ring_key(pid)
+            x, y = g.nodes[pid]["pos"]
+            assert x * x + y * y == pytest.approx(1.0)
+        ring_edges = {
+            d["ring"] for _u, _v, d in g.edges(data=True) if "ring" in d
+        }
+        assert "successor" in ring_edges
+        for pid in ctx.overlay.leaf_ids:
+            assert "ring_key" not in g.nodes[pid]
+
+    def test_export_without_family_unannotated(self):
+        ctx = self._chord_ctx()
+        g = to_networkx(ctx.overlay)
+        assert all("ring_key" not in d for _n, d in g.nodes(data=True))

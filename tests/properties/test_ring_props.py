@@ -1,0 +1,151 @@
+"""Property tests: the Chord family's ring state survives any op sequence.
+
+A stateful machine drives joins, deaths, promotions, demotions, and
+maintenance sweeps through the *real* paths (JoinProcedure,
+TransitionExecutor, Maintenance) over a chord-family context, and after
+every step demands the family's exactness contract: the ring mirrors the
+super-layer, every ``ring_succ`` column is the true ring successor,
+fingers point on-ring, and leaves carry no ring state -- on top of the
+overlay's own structural invariants with the O(1) aggregate mirrors
+cross-checked.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.context import build_context
+from repro.core.transitions import TransitionExecutor
+from repro.overlay.families.chord_ring import ring_key
+from repro.overlay.roles import Role
+
+
+class ChordRingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ctx = build_context(seed=13, family="chord")
+        self.executor = TransitionExecutor(self.ctx)
+        self.family = self.ctx.family
+
+    # -- ops (each mirrors the production call path exactly) -------------
+    @rule(capacity=st.floats(min_value=0.1, max_value=10.0))
+    def join(self, capacity):
+        # Cold start seeds the super-layer; later joiners land as leaves.
+        self.ctx.join.join(self.ctx.now, capacity, lifetime=1.0)
+
+    @rule(capacity=st.floats(min_value=0.1, max_value=10.0))
+    def join_super(self, capacity):
+        self.ctx.join.join(self.ctx.now, capacity, lifetime=1.0, role=Role.SUPER)
+
+    @precondition(lambda self: self.ctx.overlay.n >= 1)
+    @rule(data=st.data())
+    def leave(self, data):
+        overlay = self.ctx.overlay
+        pid = data.draw(st.sampled_from(sorted(p.pid for p in overlay.peers())))
+        was_super = overlay.peer(pid).is_super
+        orphans, former_supers = overlay.remove_peer(pid)
+        if was_super:
+            self.ctx.maintenance.after_super_death(orphans, former_supers)
+
+    @precondition(lambda self: self.ctx.overlay.n_leaf >= 1)
+    @rule(data=st.data())
+    def promote(self, data):
+        pid = data.draw(st.sampled_from(sorted(self.ctx.overlay.leaf_ids)))
+        self.executor.promote(pid)
+
+    @precondition(lambda self: self.ctx.overlay.n_super >= 2)
+    @rule(data=st.data())
+    def demote(self, data):
+        pid = data.draw(st.sampled_from(sorted(self.ctx.overlay.super_ids)))
+        self.executor.demote(pid)
+
+    @rule()
+    def sweep(self):
+        self.ctx.maintenance.sweep()
+
+    # -- invariants ------------------------------------------------------
+    @invariant()
+    def ring_exact_after_every_op(self):
+        # Ring == super-layer, succ columns exact, fingers on-ring,
+        # leaves clean -- the family's contract holds between sweeps too.
+        self.family.check_invariants()
+
+    @invariant()
+    def overlay_invariants_hold(self):
+        self.ctx.overlay.check_invariants(aggregates=True)
+
+
+TestChordRingMachine = ChordRingMachine.TestCase
+TestChordRingMachine.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None
+)
+
+
+def _drive(ops, seed=13):
+    """Apply an encoded op sequence; returns the context (for asserts)."""
+    ctx = build_context(seed=seed, family="chord")
+    executor = TransitionExecutor(ctx)
+    for kind, sel in ops:
+        overlay = ctx.overlay
+        if kind == "join":
+            ctx.join.join(ctx.now, 1.0 + sel, lifetime=1.0)
+        elif kind == "join_super":
+            ctx.join.join(ctx.now, 1.0 + sel, lifetime=1.0, role=Role.SUPER)
+        elif kind == "leave" and overlay.n:
+            pids = sorted(p.pid for p in overlay.peers())
+            pid = pids[sel % len(pids)]
+            was_super = overlay.peer(pid).is_super
+            orphans, former = overlay.remove_peer(pid)
+            if was_super:
+                ctx.maintenance.after_super_death(orphans, former)
+        elif kind == "promote" and overlay.n_leaf:
+            leaves = sorted(overlay.leaf_ids)
+            executor.promote(leaves[sel % len(leaves)])
+        elif kind == "demote" and overlay.n_super >= 2:
+            supers = sorted(overlay.super_ids)
+            executor.demote(supers[sel % len(supers)])
+    return ctx
+
+
+_OP = st.tuples(
+    st.sampled_from(("join", "join_super", "leave", "promote", "demote")),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@st.composite
+def _op_sequences(draw):
+    return draw(st.lists(_OP, min_size=1, max_size=40))
+
+
+@given(_op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_sweep_restores_ideal_fingers(ops):
+    """After a maintenance sweep, every finger table is the ideal Chord
+    table for the current ring (fix_fingers has converged), and the
+    successor link physically exists."""
+    ctx = _drive(ops)
+    ctx.maintenance.sweep()
+    family = ctx.family
+    store = ctx.overlay.store
+    members = family.ring_members()
+    for pid in members:
+        slot = store.slot(pid)
+        assert store.fg[slot] == family._ideal_fingers(pid, ring_key(pid))
+        succ = int(store.ring_succ[slot])
+        if succ != pid:
+            assert succ in store.sn[slot], f"missing successor link {pid}->{succ}"
+    family.check_invariants()
+    ctx.overlay.check_invariants(aggregates=True)
+
+
+@given(_op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_ring_columns_exact_without_sweep(ops):
+    """The succ-column exactness contract needs no sweep: it holds right
+    after an arbitrary op sequence (listeners + heal_ring keep it)."""
+    ctx = _drive(ops)
+    ctx.family.check_invariants()
+    ctx.overlay.check_invariants(aggregates=True)

@@ -1,0 +1,119 @@
+"""Unit tests for greedy key-routing over the Chord super-layer ring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.context import build_context
+from repro.overlay.roles import Role
+from repro.search.content import ContentCatalog
+from repro.search.index import ContentDirectory
+
+
+def build_ring_system(n_supers=6, n_leaves=8, files_per_peer=3, seed=9):
+    """A chord-family system with the search plane wired as in the runner:
+    directory first (its membership listener must pop files before the
+    router's), then the family-built router, then the joins."""
+    ctx = build_context(seed=seed, family="chord")
+    catalog = ContentCatalog(n_objects=60, s=0.0)
+    directory = ContentDirectory(
+        ctx.overlay, catalog, np.random.default_rng(3), files_per_peer=files_per_peer
+    )
+    router = ctx.family.build_router(directory, None, ledger=None)
+    for _ in range(n_supers):
+        ctx.join.join(0.0, 1.0, lifetime=1.0, role=Role.SUPER)
+    for _ in range(n_leaves):
+        ctx.join.join(0.0, 1.0, lifetime=1.0)
+    ctx.maintenance.sweep()
+    return ctx, directory, router
+
+
+def all_copies(directory):
+    """obj -> live copy count, from the directory's file table."""
+    files_map, _ = directory.hit_tables()
+    counts = {}
+    for files in files_map.values():
+        for obj in files:
+            counts[obj] = counts.get(obj, 0) + 1
+    return counts
+
+
+class TestRingRouting:
+    def test_local_storage_is_free(self):
+        ctx, directory, router = build_ring_system()
+        pid = next(p.pid for p in ctx.overlay.peers() if directory.files(p.pid))
+        obj = directory.files(pid)[0]
+        out = router.query(pid, obj)
+        assert out.found and out.hits == 1
+        assert out.query_messages == 0 and out.supers_visited == 0
+
+    def test_routes_to_a_copy(self):
+        ctx, directory, router = build_ring_system()
+        copies = all_copies(directory)
+        obj, total = next(iter(sorted(copies.items())))
+        source = next(
+            sid for sid in sorted(ctx.overlay.super_ids)
+            if not directory.super_hit(sid, obj)
+        )
+        out = router.query(source, obj)
+        assert out.found
+        # Opportunistic index hits report one copy; the owner's provider
+        # record reports every live copy.
+        assert 1 <= out.hits <= total
+        assert out.query_messages >= 1
+        assert out.supers_visited <= ctx.family.ring_size()
+        assert out.hit_messages == out.first_hit_hops
+
+    def test_miss_routes_but_finds_nothing(self):
+        ctx, directory, router = build_ring_system()
+        held = set(all_copies(directory))
+        obj = next(o for o in range(60) if o not in held)
+        source = sorted(ctx.overlay.super_ids)[0]
+        out = router.query(source, obj)
+        assert not out.found and out.hits == 0
+        assert out.hit_messages == 0 and out.first_hit_hops is None
+
+    def test_orphaned_leaf_cannot_submit(self):
+        ctx, directory, router = build_ring_system(files_per_peer=0)
+        leaf = sorted(ctx.overlay.leaf_ids)[0]
+        store = ctx.overlay.store
+        for sid in list(store.sn[store.slot(leaf)]):
+            ctx.overlay.disconnect(leaf, sid)
+        out = router.query(leaf, 7)
+        assert not out.found
+        assert out.query_messages == 0 and out.supers_visited == 0
+
+    def test_empty_ring_is_a_miss(self):
+        ctx, directory, router = build_ring_system(
+            n_supers=1, n_leaves=1, files_per_peer=0
+        )
+        sid = sorted(ctx.overlay.super_ids)[0]
+        orphans, former = ctx.overlay.remove_peer(sid)
+        ctx.maintenance.after_super_death(orphans, former)
+        assert ctx.family.ring_size() == 0
+        leaf = sorted(ctx.overlay.leaf_ids)[0]
+        out = router.query(leaf, 7)
+        assert not out.found and out.query_messages == 0
+
+    def test_provider_registry_tracks_membership(self):
+        ctx, directory, router = build_ring_system()
+        assert dict(router._providers) == all_copies(directory)
+        # A death retires its copies; the registry follows exactly.
+        victim = next(
+            p.pid for p in ctx.overlay.peers() if directory.files(p.pid)
+        )
+        was_super = ctx.overlay.peer(victim).is_super
+        orphans, former = ctx.overlay.remove_peer(victim)
+        if was_super:
+            ctx.maintenance.after_super_death(orphans, former)
+        assert dict(router._providers) == all_copies(directory)
+
+    def test_resync_rebuilds_registry_exactly(self):
+        ctx, directory, router = build_ring_system()
+        before_providers = dict(router._providers)
+        before_by_peer = dict(router._by_peer)
+        router._providers.clear()
+        router._by_peer.clear()
+        router.resync()
+        assert dict(router._providers) == before_providers
+        assert dict(router._by_peer) == before_by_peer

@@ -18,13 +18,14 @@ def record_mod():
     return mod
 
 
-def _rec(events, queries, quick=True, sim_events=20_000, speedup=1.5):
+def _rec(events, queries, quick=True, sim_events=20_000, speedup=1.5, cells=7.0):
     return {
         "quick": quick,
         "scheduler": {"events_per_sec": events},
         "flooding": {"queries_per_sec": queries},
         "largescale": {"events_per_sec": sim_events},
         "warmstart": {"speedup": speedup},
+        "families": {"cells_per_sec": cells},
     }
 
 
