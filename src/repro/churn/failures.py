@@ -10,8 +10,11 @@ must rebuild the backbone from whatever leaves remain.
 
 :class:`FailureInjector` schedules such events against a running
 :class:`~repro.churn.lifecycle.ChurnDriver`.  Victims die through the
-driver's normal kill path (pending natural deaths are cancelled, orphan
-repair runs, the overhead ledger records the deaths), and victims can
+driver's normal kill path (the pending natural death is cancelled via
+the :class:`~repro.churn.deaths.DeathLedger` -- a column write while the
+death is unmaterialized, a scheduler tombstone only once the calendar
+engine has harvested it into the active window -- then orphan repair
+runs and the overhead ledger records the deaths), and victims can
 optionally be replaced -- immediately (the population model's default)
 or spread over a recovery window (users drifting back online).
 """

@@ -15,7 +15,9 @@ is how the Figures 4-8 dynamic workloads are produced.
 Event flow:
 
 * ``PEER_JOIN`` -- sample capacity/lifetime, ask the policy for a layer,
-  wire the peer in, schedule its ``PEER_LEAVE`` at its death time.
+  wire the peer in, record its death in the :class:`DeathLedger` (which
+  reserves the ``PEER_LEAVE`` seq but materializes no Event until the
+  calendar engine's window reaches it).
 * ``PEER_LEAVE`` -- remove the peer; if it was a super-peer, repair its
   orphans and the backbone; if replacement is on, schedule an immediate
   ``PEER_JOIN`` so the population holds.
@@ -31,6 +33,7 @@ from ..core.policy import LayerPolicy
 from ..sim.events import Event, EventKind
 from ..sim.scheduler import Simulator
 from .arrivals import poisson_arrival_times, warmup_join_times
+from .deaths import DeathLedger
 from .distributions import ScalableDistribution
 from .scenarios import Scenario
 
@@ -69,6 +72,7 @@ class ChurnDriver:
         self._rng_life = ctx.sim.rng.get("lifetime")
         self._rng_cap = ctx.sim.rng.get("capacity")
         self._rng_arrivals = ctx.sim.rng.get("arrivals")
+        self.death_ledger = DeathLedger(ctx.sim, ctx.overlay.store)
         sim = ctx.sim
         sim.on(EventKind.PEER_JOIN, self._on_join)
         sim.on(EventKind.PEER_LEAVE, self._on_leave)
@@ -150,13 +154,12 @@ class ChurnDriver:
         peer = self.ctx.join.join(
             sim.now, capacity, lifetime, role=role, eligible=eligible
         )
-        # The death event rides in the store's ``dv`` column (not a
-        # side dict: a million-entry dict costs ~75MB) and carries the
-        # bare pid -- a shared int, not a fresh one-key dict per peer.
+        # The death rides in the store's ``dv``/``dseq`` columns (not an
+        # Event on the heap: a million far-future deaths cost ~200MB as
+        # objects) and its payload is the bare pid -- a shared int, not
+        # a fresh one-key dict per peer.
         store, slot = peer._store, peer._slot
-        store.dv[slot] = sim.schedule_at(
-            peer.death_time, EventKind.PEER_LEAVE, peer.pid
-        )
+        self.death_ledger.schedule(slot, peer.pid, peer.death_time)
         if peer.is_leaf:
             self.ctx.overhead.record_leaf_join(int(store.n_super_links[slot]))
         self.joins += 1
@@ -175,11 +178,7 @@ class ChurnDriver:
         peer = self.ctx.overlay.get(pid)
         if peer is None:
             return False
-        store, slot = peer._store, peer._slot
-        pending = store.dv[slot]
-        if pending is not None:
-            store.dv[slot] = None
-            pending.cancel()
+        self.death_ledger.cancel(peer._slot)
         was_super = peer.is_super
         orphans, former_supers = self.ctx.overlay.remove_peer(pid)
         if was_super:
@@ -216,11 +215,11 @@ class ChurnDriver:
         queue replaces them.)
         """
         store = self.ctx.overlay.store
-        dv, pid_col = store.dv, store.pid
+        dseq, pid_col = store.dseq, store.pid
         leave_events = sorted(
-            (int(pid_col[s]), dv[s].seq)
+            (int(pid_col[s]), int(dseq[s]))
             for s in store.live_slots()
-            if dv[s] is not None
+            if dseq[s] >= 0
         )
         return {
             "joins": self.joins,
@@ -232,12 +231,17 @@ class ChurnDriver:
         }
 
     def restore(self, state: dict, sim: Simulator) -> None:
-        """Re-link pending death events from a restored queue."""
+        """Re-own pending deaths from a restored queue.
+
+        Each death is reclaimed straight into the ``dv``/``dseq``
+        columns (no Event materializes), keeping the restore path as
+        lean as the steady state it resumes into.
+        """
         self.joins = state["joins"]
         self.deaths = state["deaths"]
         store = self.ctx.overlay.store
         for pid, seq in state["leave_events"]:
-            store.dv[store.slot(pid)] = sim.restored_event(seq)
+            self.death_ledger.adopt(store.slot(pid), seq, sim)
         self._join_backlog = list(state["join_backlog"])
         self.lifetimes.set_scale(state["lifetime_scale"])
         self.capacities.set_scale(state["capacity_scale"])

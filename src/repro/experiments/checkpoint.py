@@ -57,7 +57,13 @@ __all__ = [
 #: v4: the header records the overlay ``family`` and the state carries
 #: a ``family`` entry (ring-derived state for Chord, empty for
 #: superpeer); restores refuse a family mismatch outright.
-SCHEMA_VERSION = 4
+#: v5: the scheduler queue is canonical -- sorted by ``(time, seq)``,
+#: with unmaterialized lazy deaths folded in from the store columns and
+#: cancelled lazy tombstones dropped -- so both calendar-queue engines
+#: (``wheel``/``heap``) write byte-identical state.  v4 checkpoints
+#: serialized the raw heap array (arbitrary sibling order, tombstones
+#: included), so they are refused rather than reinterpreted.
+SCHEMA_VERSION = 5
 
 #: Config fields that never affect the simulated trajectory, excluded
 #: from the compatibility hash: the run's label, how far it runs, and

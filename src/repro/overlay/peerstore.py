@@ -78,6 +78,13 @@ _SCALAR_COLUMNS = (
     # Ring successor pid for ring-structured overlay families (the Chord
     # family); -1 for leaves, detached rows, and non-ring families.
     ("ring_succ", np.int64, -1),
+    # Pending natural-death bookkeeping, owned by the churn driver's
+    # DeathLedger (the calendar queue's lazy-event source): ``dv`` is the
+    # unmaterialized death time (+inf = none pending -- never scheduled,
+    # already harvested into the scheduler's active window, or cancelled)
+    # and ``dseq`` the scheduler seq reserved for it (-1 = none).
+    ("dv", np.float64, np.inf),
+    ("dseq", np.int64, -1),
 )
 
 
@@ -97,12 +104,13 @@ class PeerStore:
         "n_leaf_links",
         "last_eval",
         "ring_succ",
+        "dv",
+        "dseq",
         "sn",
         "ct",
         "fg",
         "ln",
         "kn",
-        "dv",
         "views",
         "_free",
         "_size",
@@ -128,9 +136,6 @@ class PeerStore:
         #: list slot.
         self.fg: List[tuple] = [()] * cap
         self.ln: List[Optional[CountedIdSet]] = [None] * cap
-        #: Pending death event per slot (owned by the churn driver; kept
-        #: columnar so a million peers don't need a million-entry dict).
-        self.dv: List[object] = [None] * cap
         self.kn: List[Optional["NeighborKnowledge"]] = [None] * cap
         self.views: List[Optional["Peer"]] = [None] * cap
         self._free: List[int] = []
@@ -166,7 +171,6 @@ class PeerStore:
         self.fg.extend([()] * pad)
         self.ln.extend([None] * pad)
         self.kn.extend([None] * pad)
-        self.dv.extend([None] * pad)
         self.views.extend([None] * pad)
 
     @property
@@ -179,7 +183,7 @@ class PeerStore:
         """
         total = sum(getattr(self, name).nbytes for name, _d, _f in _SCALAR_COLUMNS)
         total += self._slot_by_pid.nbytes
-        total += 7 * 8 * len(self.pid)  # the seven object-column list slots
+        total += 6 * 8 * len(self.pid)  # the six object-column list slots
         return total
 
     # -- pid -> slot mapping ------------------------------------------------
@@ -257,12 +261,13 @@ class PeerStore:
         self.n_leaf_links[s] = 0
         self.last_eval[s] = -np.inf
         self.ring_succ[s] = -1
+        self.dv[s] = np.inf
+        self.dseq[s] = -1
         self.sn[s] = ()
         self.ct[s] = ()
         self.fg[s] = ()
         self.ln[s] = None
         self.kn[s] = None
-        self.dv[s] = None
         self.views[s] = None
         if self._track_pids:
             self._register(pid, s)
@@ -275,12 +280,13 @@ class PeerStore:
         self.pid[slot] = -1
         self.alive[slot] = False
         self.ring_succ[slot] = -1
+        self.dv[slot] = np.inf
+        self.dseq[slot] = -1
         self.sn[slot] = ()
         self.ct[slot] = ()
         self.fg[slot] = ()
         self.ln[slot] = None
         self.kn[slot] = None
-        self.dv[slot] = None
         self.views[slot] = None
         self._free.append(slot)
 
@@ -303,11 +309,12 @@ class PeerStore:
         )
         self.n_super_links[s] = src.n_super_links[s_old]
         self.n_leaf_links[s] = src.n_leaf_links[s_old]
+        self.dv[s] = src.dv[s_old]
+        self.dseq[s] = src.dseq[s_old]
         self.sn[s] = src.sn[s_old]
         self.ct[s] = src.ct[s_old]
         self.ln[s] = src.ln[s_old]
         self.kn[s] = src.kn[s_old]
-        self.dv[s] = src.dv[s_old]
         ln = self.ln[s]
         if ln is not None:
             ln._store, ln._slot = self, s

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import sys
 from typing import Callable, Optional, Sequence
@@ -74,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--queries", type=int, default=200, help="queries for the flooding workload"
+    )
+    parser.add_argument(
+        "--sched",
+        choices=("wheel", "heap"),
+        default=None,
+        help="event-engine override (sets REPRO_SCHED for the whole "
+        "workload); the before/after flame profile of the calendar "
+        "queue is one command per engine",
     )
     parser.add_argument(
         "--sort",
@@ -158,6 +167,11 @@ def _experiment_workload(args: argparse.Namespace) -> Callable[[], object]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.sched is not None:
+        # Through the environment, not a ctor kwarg: experiment harnesses
+        # build their own Simulators, so every one of them must inherit it.
+        os.environ["REPRO_SCHED"] = args.sched
 
     if args.experiment == "scheduler":
         workload = _scheduler_workload(args.events)

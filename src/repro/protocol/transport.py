@@ -499,7 +499,7 @@ class InfoExchange:
                     pending.responder, values["capacity"], values["age"], at
                 )
         if pending.timeout_event is not None:
-            pending.timeout_event.cancel()
+            self.sim.cancel(pending.timeout_event)
         self._trace("satisfied", self._pending_info(pending))
         self._resolve(pending)
 

@@ -91,7 +91,14 @@ class Event:
     cancelled: bool = False
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler will skip it."""
+        """Mark the event so the scheduler will skip it.
+
+        For an event still in a simulator's queue, prefer
+        :meth:`Simulator.cancel` -- it sets this flag *and* keeps the
+        scheduler's ``live_pending`` gauge exact.  Calling this directly
+        is right only for events outside any queue (e.g. wiring events a
+        restore has already discarded).
+        """
         self.cancelled = True
 
     # heapq ordering -------------------------------------------------------

@@ -83,7 +83,7 @@ class PeriodicProcess:
         """Cancel all future firings."""
         self._stopped = True
         if self._pending is not None:
-            self._pending.cancel()
+            self._sim.cancel(self._pending)
             self._pending = None
 
     def snapshot(self) -> dict:
@@ -104,7 +104,11 @@ class PeriodicProcess:
             )
         self._stopped = state["stopped"]
         if self._pending is not None:
-            self._pending.cancel()  # the wiring-scheduled first firing
+            # The wiring-scheduled first firing: sim.restore() already
+            # discarded it from the queue, so flag the orphan Event
+            # directly -- sim.cancel() would corrupt the live_pending
+            # accounting with a tombstone that never pops.
+            self._pending.cancel()
         self._pending = sim.restored_event(state["pending"])
 
 
@@ -155,7 +159,7 @@ class RenewalProcess:
         """Cancel all future firings."""
         self._stopped = True
         if self._pending is not None:
-            self._pending.cancel()
+            self._sim.cancel(self._pending)
             self._pending = None
 
     def snapshot(self) -> dict:
@@ -176,5 +180,7 @@ class RenewalProcess:
             )
         self._stopped = state["stopped"]
         if self._pending is not None:
+            # Orphan wiring event, already discarded by sim.restore();
+            # see PeriodicProcess.restore.
             self._pending.cancel()
         self._pending = sim.restored_event(state["pending"])

@@ -1,53 +1,81 @@
-"""The discrete-event scheduler.
+"""The discrete-event scheduler: a calendar-queue engine.
 
-A heap-ordered event queue plus a handler registry.  The paper's own
-simulator is unspecified; this engine reproduces the semantics its
-evaluation needs -- event-driven peer joins/leaves, connection-creation
-triggers for DLM's information exchange, periodic metric sampling -- while
-being deterministic and seedable.
+The engine orders events by ``(time, seq)`` -- global FIFO within a
+timestamp -- exactly as the original binary-heap core did, but the
+backing structure is a calendar queue (hashed timing wheel) so that the
+hot operations are O(1) instead of O(log n):
 
-Handlers are callables ``handler(sim, event)`` registered per event kind;
-multiple handlers per kind fire in registration order.  Handlers may
-schedule further events (at or after the current time).
+* **Active window** -- events due inside the current time window
+  (``[start, start + bucket_width)``) live in a small binary heap of
+  ``(time, seq, event)`` tuples, popped in exact ``(time, seq)`` order.
+* **Now-buffer** -- events scheduled at exactly the current time
+  (zero-delay follow-ups, the dominant pattern: DLM evaluation requests
+  fired from connection events) bypass the heap into a FIFO deque.  The
+  buffer stays sorted by ``(time, seq)`` by construction -- appends
+  carry a monotone seq at a monotone clock -- and any heap entry with
+  the same timestamp was necessarily scheduled earlier (smaller seq), so
+  a plain tuple comparison between the buffer front and the heap top
+  reproduces the exact global FIFO order at O(1).
+* **Buckets** -- events beyond the active window are appended to a
+  per-window list (``dict[int, list]`` keyed by absolute window index);
+  scheduling is one dict lookup + append.  When the active window
+  drains, the next occupied window's bucket is merged into the active
+  heap (:meth:`_advance`).  Each event is touched O(1) times amortized.
+* **Lazy events** -- far-future events whose parameters live in an
+  external columnar *source* (peer death times in the PeerStore ``dv``
+  column) are never materialized at schedule time: :meth:`schedule_lazy`
+  reserves a seq (keeping trajectories bit-identical to eager
+  scheduling) and the source hands back ``(time, seq, payload)`` rows
+  per window via ``harvest``, at which point the engine builds the
+  Event.  A million pending peer deaths therefore cost two numpy
+  columns, not a million Event objects on a heap.
+
+``REPRO_SCHED=heap`` (or ``engine="heap"``) keeps the flat-heap
+behavior as a pop-order-identical oracle: the active window is set to
+infinity, so every event -- including lazy ones, materialized
+immediately -- lands in the active heap and the engine degenerates to
+the original heap+now-buffer core.  Snapshots are canonical (sorted by
+``(time, seq)``, unmaterialized lazy entries folded in), so both
+engines serialize byte-identical state.
+
+Handlers are callables ``handler(sim, event)`` registered per event
+kind; multiple handlers per kind fire in registration order.  The
+registry maps kind -> tuple of handlers; ``on``/``off`` replace the
+tuple, so the dispatch loop always iterates an immutable snapshot and a
+handler may deregister (or register) handlers for its own kind without
+skipping or double-firing anything mid-dispatch.  Handlers may schedule
+further events (at or after the current time).
 
 Hot-path notes (profiled with ``python -m repro.profile scheduler``):
 
-* The heap holds ``(time, seq, event)`` tuples, not events, so ``heapq``
-  compares in C instead of dispatching ``Event.__lt__`` -- at bench scale
-  the dataclass comparison alone was ~5% of a full run.
-* :meth:`run` inlines the pop/dispatch loop with the queue, clock, and
-  handler registry bound to locals; handler lists are resolved with one
-  dict lookup per event (``on``/``off`` mutate the lists in place, so a
-  registration made by a handler is visible to the very next event).
-* The clock is advanced by direct assignment: the heap pops times in
-  nondecreasing order and :meth:`schedule_at` rejects past times, so the
-  monotonicity check in :meth:`SimClock.advance_to` is provably redundant
-  on this path.
-* Events scheduled at exactly the current time (zero-delay follow-ups,
-  the dominant pattern: DLM evaluation requests fired from connection
-  events) bypass the heap into a FIFO *now-buffer*.  The buffer stays
-  sorted by ``(time, seq)`` by construction -- appends carry a monotone
-  seq at a monotone clock -- and any heap entry with the same timestamp
-  was necessarily scheduled earlier (smaller seq), so a plain tuple
-  comparison between the buffer front and the heap top reproduces the
-  exact global FIFO order at O(1) instead of O(log n) per zero-delay
-  event.
+* Heap and bucket entries are ``(time, seq, event)`` tuples, not
+  events, so comparisons run in C instead of dispatching
+  ``Event.__lt__``.
+* :meth:`run` inlines the pop/dispatch loop with the structures, clock,
+  and handler registry bound to locals; handler tuples are resolved
+  with one dict lookup per event.
+* The clock is advanced by direct assignment: events pop in
+  nondecreasing time order and :meth:`schedule_at` rejects past times,
+  so the monotonicity check in :meth:`SimClock.advance_to` is provably
+  redundant on this path.
 * Payload-less events share one immutable empty mapping instead of
   allocating a fresh dict each (payloads are read-only by contract).
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from heapq import heappop, heappush
+from math import inf
 from types import MappingProxyType
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from .clock import SimClock
 from .events import Event
 from .rng import RngStreams
 
-__all__ = ["Simulator", "Handler", "StopSimulation"]
+__all__ = ["Simulator", "Handler", "LazyEventSource", "StopSimulation"]
 
 Handler = Callable[["Simulator", Event], None]
 
@@ -59,8 +87,54 @@ class StopSimulation(Exception):
     """Raised by a handler to terminate the run immediately."""
 
 
+class LazyEventSource:
+    """Protocol for a columnar store of unmaterialized future events.
+
+    A source owns the ``(time, payload)`` rows of events whose seqs were
+    reserved through :meth:`Simulator.schedule_lazy` but whose Event
+    objects do not exist yet.  The engine calls:
+
+    * ``kind`` (attribute) -- the event kind every lazy row materializes
+      as; :meth:`Simulator.schedule_lazy` refuses other kinds.
+    * ``lazy_count() -> int`` -- number of unmaterialized rows.
+    * ``next_lazy_time() -> float`` -- earliest pending time (``inf``
+      when empty); used to pick the next window to open.
+    * ``harvest(t_end) -> list[(time, seq, payload)]`` -- remove and
+      return every row with ``time < t_end``; the engine materializes
+      them into the active window.
+    * ``pending_lazy() -> list[(time, seq, payload)]`` -- non-destructive
+      enumeration for :meth:`Simulator.snapshot` (order irrelevant; the
+      snapshot sorts).
+
+    Cancellation of an unmaterialized row is the source's own business
+    (a column write); once a row has been harvested the source must
+    route cancellation through :meth:`Simulator.cancel_lazy`.
+    """
+
+    kind: str
+
+    def lazy_count(self) -> int:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def next_lazy_time(self) -> float:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def harvest(self, t_end: float):  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def pending_lazy(self):  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+def _plain_payload(payload):
+    """Serialize a payload: dict copies (None when empty), scalars as-is."""
+    if isinstance(payload, Mapping):
+        return dict(payload) or None
+    return payload
+
+
 class Simulator:
-    """Heap-based discrete-event simulator.
+    """Calendar-queue discrete-event simulator.
 
     Parameters
     ----------
@@ -69,20 +143,70 @@ class Simulator:
         subsystems must draw from ``sim.rng``.
     start:
         Initial clock value (time units).
+    engine:
+        ``"wheel"`` (calendar queue, the default) or ``"heap"`` (flat
+        binary heap, the pop-order-identical oracle).  Defaults to the
+        ``REPRO_SCHED`` environment variable, then ``"wheel"``.
+    bucket_width:
+        Calendar window width in time units (default 1.0, or the
+        ``REPRO_SCHED_BUCKET`` environment variable).  Pop order is
+        width-independent; width only trades bucket count against
+        active-heap size.
     """
 
     def __init__(
-        self, seed: int = 0, start: float = 0.0, *, rng_domain: int = 0
+        self,
+        seed: int = 0,
+        start: float = 0.0,
+        *,
+        rng_domain: int = 0,
+        engine: Optional[str] = None,
+        bucket_width: Optional[float] = None,
     ) -> None:
+        if engine is None:
+            engine = os.environ.get("REPRO_SCHED", "wheel")
+        if engine not in ("wheel", "heap"):
+            raise ValueError(f"engine must be 'wheel' or 'heap', got {engine!r}")
+        if bucket_width is None:
+            bucket_width = float(os.environ.get("REPRO_SCHED_BUCKET", "1.0"))
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        self.engine = engine
         self.clock = SimClock(start)
         self.rng = RngStreams(seed, domain=rng_domain)
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._width = bucket_width
+        #: Active window: heap of (time, seq, Event) due before _active_end.
+        self._active: List[Tuple[float, int, Event]] = []
         self._now_buffer: "deque[Tuple[float, int, Event]]" = deque()
-        self._handlers: Dict[str, List[Handler]] = {}
+        #: Future windows: absolute window index -> list of entries.
+        self._buckets: Dict[int, List[Tuple[float, int, Event]]] = {}
+        self._bucket_heap: List[int] = []  # occupied window indices
+        self._bucket_count = 0
+        if engine == "heap":
+            self._active_end = inf
+        else:
+            self._active_end = (self._bucket_of(start) + 1) * bucket_width
+        #: The single attached lazy source (peer deaths), if any.
+        self._source: Optional[LazyEventSource] = None
+        self._source_kind: Optional[str] = None
+        #: Materialized-but-undelivered lazy events, by seq (cancel path).
+        self._lazy_events: Dict[int, Event] = {}
+        #: Seqs of cancelled lazy events still sitting in the active heap
+        #: as tombstones; snapshots skip them so both engines serialize
+        #: the same canonical queue (the wheel never materializes a
+        #: cancelled unmaterialized row at all).
+        self._cancelled_lazy: Set[int] = set()
+        #: Cancelled events still queued (drained as tombstones pop).
+        self._cancelled_pending = 0
+        self._handlers: Dict[str, Tuple[Handler, ...]] = {}
         self._events_processed = 0
         self._running = False
         self._next_seq = 0
         self._next_token = 0
+        #: Post-restore staging: seq -> plain queue entry, materialized
+        #: on demand (restored_event / reclaim_lazy) and finalized into
+        #: the live structures at the first run()/step().
+        self._staging: Optional[Dict[int, tuple]] = None
         self._restored_events: Dict[int, Event] = {}
 
     # -- introspection -----------------------------------------------------
@@ -98,35 +222,92 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue) + len(self._now_buffer)
+        """Number of events still queued, **including** cancelled
+        tombstones and unmaterialized lazy entries.  For the count of
+        events that will actually fire, see :attr:`live_pending`.
+        """
+        n = len(self._active) + len(self._now_buffer) + self._bucket_count
+        if self._staging:
+            n += len(self._staging)
+        if self._source is not None:
+            n += self._source.lazy_count()
+        return n
+
+    @property
+    def live_pending(self) -> int:
+        """Queued events that will actually fire (pending minus cancelled).
+
+        Exact when cancellations are routed through :meth:`cancel` /
+        :meth:`cancel_lazy` (every built-in subsystem does); a direct
+        ``Event.cancel()`` on a queued event bypasses the counter and
+        makes this an overestimate until the tombstone pops.
+        """
+        return self.pending - self._cancelled_pending
 
     def queued_events(self):
-        """Iterate the queued events (heap order, cancelled included).
+        """Iterate the queued events (cancelled included).
 
-        Introspection helper for tests and debugging; the heap itself
-        stores ``(time, seq, event)`` tuples.  Same-time events parked in
-        the now-buffer follow the heap entries.
+        Introspection helper for tests and debugging -- active-heap
+        array order, then the now-buffer, then future buckets by window.
+        Unmaterialized lazy rows are yielded as freshly built throwaway
+        Events (identity is not stable for those).  A pending
+        post-restore staging area is finalized first.
         """
-        for entry in self._queue:
+        if self._staging is not None:
+            self._finalize_restore()
+        for entry in self._active:
             yield entry[2]
         for entry in self._now_buffer:
             yield entry[2]
+        for idx in sorted(self._buckets):
+            for entry in self._buckets[idx]:
+                yield entry[2]
+        if self._source is not None:
+            for t, seq, payload in sorted(self._source.pending_lazy()):
+                yield Event(
+                    time=t,
+                    kind=self._source_kind,
+                    payload=_EMPTY_PAYLOAD if payload is None else payload,
+                    seq=seq,
+                )
 
     # -- wiring --------------------------------------------------------------
     def on(self, kind: str, handler: Handler) -> None:
-        """Register ``handler`` for events of ``kind`` (in order)."""
-        self._handlers.setdefault(kind, []).append(handler)
+        """Register ``handler`` for events of ``kind`` (in order).
+
+        The registration is visible from the next event on; the dispatch
+        loop iterates an immutable snapshot of the handler tuple, so a
+        registration made mid-dispatch never affects the event being
+        delivered.
+        """
+        self._handlers[kind] = self._handlers.get(kind, ()) + (handler,)
 
     def off(self, kind: str, handler: Handler) -> None:
-        """Remove a previously registered handler.
+        """Remove a previously registered handler (first occurrence).
 
-        Raises ``ValueError`` if the handler was not registered.
+        Safe to call from inside a handler -- even for the handler's own
+        kind: the event being dispatched still sees the old tuple, so no
+        sibling handler is skipped.  Raises ``ValueError`` if the
+        handler was not registered.
         """
+        current = self._handlers.get(kind, ())
         try:
-            self._handlers.get(kind, []).remove(handler)
+            i = current.index(handler)
         except ValueError:
             raise ValueError(f"handler not registered for kind {kind!r}") from None
+        self._handlers[kind] = current[:i] + current[i + 1 :]
+
+    def set_lazy_source(self, source: LazyEventSource) -> None:
+        """Attach the columnar source that owns unmaterialized events.
+
+        One source per simulator: the engine merges exactly one lazy
+        stream per window.  Re-attaching the same object is a no-op;
+        attaching a second source is a wiring bug and raises.
+        """
+        if self._source is not None and self._source is not source:
+            raise RuntimeError("a lazy event source is already attached")
+        self._source = source
+        self._source_kind = source.kind
 
     # -- scheduling ----------------------------------------------------------
     def schedule(
@@ -151,10 +332,9 @@ class Simulator:
         payload: Optional[Mapping[str, Any]] = None,
     ) -> Event:
         """Schedule an event at absolute simulated ``time``; returns it."""
-        if time < self.clock._now:
-            raise ValueError(
-                f"cannot schedule in the past: {time} < {self.clock._now}"
-            )
+        now = self.clock._now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < {now}")
         seq = self._next_seq
         self._next_seq = seq + 1
         ev = Event(
@@ -163,11 +343,85 @@ class Simulator:
             payload=_EMPTY_PAYLOAD if payload is None else payload,
             seq=seq,
         )
-        if time == self.clock._now:
+        if time == now:
             self._now_buffer.append((time, seq, ev))
+        elif time < self._active_end:
+            heappush(self._active, (time, seq, ev))
         else:
-            heappush(self._queue, (time, seq, ev))
+            self._bucket_push(time, seq, ev)
         return ev
+
+    def schedule_lazy(
+        self,
+        time: float,
+        kind: str,
+        payload: Any = None,
+    ) -> Tuple[int, bool]:
+        """Reserve a seq for an event the attached source may own.
+
+        Returns ``(seq, materialized)``.  The seq is allocated exactly
+        where :meth:`schedule_at` would have allocated it, so a run that
+        schedules lazily is trajectory-identical to one that schedules
+        eagerly.  If ``time`` falls inside the active window (always, in
+        heap mode) the Event is materialized immediately and
+        ``materialized`` is True -- the caller must not record the row in
+        the source.  Otherwise the caller owns the ``(time, payload)``
+        row until the engine harvests it (or the source cancels it).
+        """
+        now = self.clock._now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < {now}")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if time == now or time < self._active_end:
+            ev = Event(
+                time=time,
+                kind=kind,
+                payload=_EMPTY_PAYLOAD if payload is None else payload,
+                seq=seq,
+            )
+            self._lazy_events[seq] = ev
+            if time == now:
+                self._now_buffer.append((time, seq, ev))
+            else:
+                heappush(self._active, (time, seq, ev))
+            return seq, True
+        if self._source is None or kind != self._source_kind:
+            raise RuntimeError(
+                "schedule_lazy beyond the active window needs a lazy source "
+                f"registered for kind {kind!r} (set_lazy_source)"
+            )
+        return seq, False
+
+    # -- cancellation --------------------------------------------------------
+    def cancel(self, ev: Optional[Event]) -> bool:
+        """Cancel a queued event, keeping :attr:`live_pending` exact.
+
+        Prefer this over ``Event.cancel()`` for events that are still in
+        the queue.  None-safe; returns False for None or an
+        already-cancelled event.
+        """
+        if ev is None or ev.cancelled:
+            return False
+        ev.cancelled = True
+        self._cancelled_pending += 1
+        return True
+
+    def cancel_lazy(self, seq: int) -> bool:
+        """Cancel a lazily scheduled event that was already materialized.
+
+        The source calls this when its own row for ``seq`` is gone
+        (harvested).  Returns False if the event is not pending anymore
+        -- already delivered or already cancelled -- which is a normal
+        race (e.g. a peer killed from its own death event).
+        """
+        ev = self._lazy_events.pop(seq, None)
+        if ev is None or ev.cancelled:
+            return False
+        ev.cancelled = True
+        self._cancelled_pending += 1
+        self._cancelled_lazy.add(seq)
+        return True
 
     def next_process_token(self) -> int:
         """Allocate a deterministic identity token for a recurring process.
@@ -182,27 +436,121 @@ class Simulator:
         self._next_token = token + 1
         return token
 
+    # -- calendar internals --------------------------------------------------
+    def _bucket_of(self, t: float) -> int:
+        """Absolute window index of ``t``, robust to float rounding.
+
+        ``t // width`` is exact for the default width 1.0; for other
+        widths the one-ulp fixups guarantee ``idx*width <= t <
+        (idx+1)*width``, which is what window-advance progress and
+        pop-order correctness rely on.
+        """
+        w = self._width
+        idx = int(t // w)
+        if t < idx * w:
+            idx -= 1
+        elif t >= (idx + 1) * w:
+            idx += 1
+        return idx
+
+    def _bucket_push(self, time: float, seq: int, ev: Event) -> None:
+        idx = self._bucket_of(time)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [(time, seq, ev)]
+            heappush(self._bucket_heap, idx)
+        else:
+            bucket.append((time, seq, ev))
+        self._bucket_count += 1
+
+    def _advance(self, until: Optional[float]) -> bool:
+        """Open the next occupied window; False when none is due.
+
+        Candidates: the active heap's own head (a head at/past
+        ``_active_end`` just means the window moved on without draining
+        it), the earliest occupied bucket, and the lazy source's
+        earliest row.  Windows only move forward, so a bucket index is
+        pushed to ``_bucket_heap`` once and never goes stale.
+        """
+        width = self._width
+        best: Optional[int] = None
+        if self._active:
+            best = self._bucket_of(self._active[0][0])
+        heap = self._bucket_heap
+        if heap and (best is None or heap[0] < best):
+            best = heap[0]
+        source = self._source
+        if source is not None:
+            t = source.next_lazy_time()
+            if t != inf:
+                b = self._bucket_of(t)
+                if best is None or b < best:
+                    best = b
+        if best is None:
+            return False
+        start = best * width
+        if until is not None and start > until:
+            return False
+        end = start + width
+        self._active_end = end
+        active = self._active
+        if heap and heap[0] == best:
+            heappop(heap)
+            entries = self._buckets.pop(best)
+            self._bucket_count -= len(entries)
+            for entry in entries:
+                heappush(active, entry)
+        if source is not None:
+            harvested = source.harvest(end)
+            if harvested:
+                lazy = self._lazy_events
+                kind = self._source_kind
+                for t, seq, payload in harvested:
+                    ev = Event(
+                        time=t,
+                        kind=kind,
+                        payload=_EMPTY_PAYLOAD if payload is None else payload,
+                        seq=seq,
+                    )
+                    lazy[seq] = ev
+                    heappush(active, (t, seq, ev))
+        return True
+
     # -- execution -----------------------------------------------------------
     def step(self) -> Optional[Event]:
         """Deliver the next non-cancelled event; return it (or None if empty)."""
-        queue = self._queue
+        if self._staging is not None:
+            self._finalize_restore()
+        active = self._active
         buffer = self._now_buffer
-        while queue or buffer:
-            if buffer and (not queue or buffer[0] < queue[0]):
-                ev = buffer.popleft()[2]
+        while True:
+            if buffer and (not active or buffer[0] < active[0]):
+                head = buffer.popleft()
+            elif active:
+                if active[0][0] >= self._active_end:
+                    if self._advance(None):
+                        continue
+                    return None
+                head = heappop(active)
             else:
-                ev = heappop(queue)[2]
+                if self._advance(None):
+                    continue
+                return None
+            ev = head[2]
             if ev.cancelled:
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
+                if self._cancelled_lazy:
+                    self._cancelled_lazy.discard(head[1])
                 continue
             # Pop order makes this monotone; skip advance_to's check.
-            self.clock._now = ev.time
+            self.clock._now = head[0]
             self._events_processed += 1
-            handlers = self._handlers.get(ev.kind)
-            if handlers:
-                for handler in handlers:
-                    handler(self, ev)
+            if self._lazy_events:
+                self._lazy_events.pop(head[1], None)
+            for handler in self._handlers.get(ev.kind, ()):
+                handler(self, ev)
             return ev
-        return None
 
     def run(
         self,
@@ -216,33 +564,53 @@ class Simulator:
         inclusive), matching the "run to time T" convention the experiment
         harness uses for its final metrics sample.
         """
+        if self._staging is not None:
+            self._finalize_restore()
         self._running = True
         delivered = 0
-        queue = self._queue
+        active = self._active
         buffer = self._now_buffer
         registry = self._handlers
         clock = self.clock
         try:
-            while queue or buffer:
-                use_buffer = bool(buffer) and (not queue or buffer[0] < queue[0])
-                head = buffer[0] if use_buffer else queue[0]
+            while True:
+                if buffer and (not active or buffer[0] < active[0]):
+                    use_buffer = True
+                    head = buffer[0]
+                elif active:
+                    if active[0][0] >= self._active_end:
+                        if self._advance(until):
+                            continue
+                        break
+                    use_buffer = False
+                    head = active[0]
+                else:
+                    if self._advance(until):
+                        continue
+                    break
+                if until is not None and head[0] > until:
+                    break
                 ev = head[2]
                 if ev.cancelled:
                     if use_buffer:
                         buffer.popleft()
                     else:
-                        heappop(queue)
+                        heappop(active)
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
+                    if self._cancelled_lazy:
+                        self._cancelled_lazy.discard(head[1])
                     continue
-                if until is not None and head[0] > until:
-                    break
                 if max_events is not None and delivered >= max_events:
                     break
                 if use_buffer:
                     buffer.popleft()
                 else:
-                    heappop(queue)
+                    heappop(active)
                 clock._now = head[0]
                 self._events_processed += 1
+                if self._lazy_events:
+                    self._lazy_events.pop(head[1], None)
                 handlers = registry.get(ev.kind)
                 if handlers:
                     for handler in handlers:
@@ -252,49 +620,60 @@ class Simulator:
             pass
         finally:
             self._running = False
-        if until is not None and clock._now < until and not queue and not buffer:
+        if until is not None and clock._now < until and self.live_pending == 0:
             # Drained early: jump the clock to the horizon so that metric
-            # timestamps computed from `now` are well defined.
+            # timestamps computed from `now` are well defined.  Live
+            # emptiness, not physical emptiness: a cancelled tombstone
+            # beyond the horizon still sits in the heap engine's queue but
+            # is already gone from the wheel's columns, and the clocks
+            # must agree (the old core purged tombstones first and
+            # jumped, so live emptiness is also the seed semantics).
             clock._now = until
 
     # -- checkpointing -------------------------------------------------------
     def snapshot(self) -> dict:
         """Capture the engine state (clock, queue, counters, RNG streams).
 
-        Queue entries are serialized as plain ``(time, seq, kind, payload,
-        cancelled)`` tuples in heap-array order -- a heap array restored
-        verbatim is still a valid heap, so no re-heapify is needed on
-        :meth:`restore`.  Payloads must be plain data (ints/floats/strings
+        The queue is serialized canonically: plain ``(time, seq, kind,
+        payload, cancelled)`` tuples sorted by ``(time, seq)``, with
+        unmaterialized lazy rows folded in from the source and cancelled
+        lazy tombstones skipped.  Both engines therefore serialize
+        byte-identical state, and a sorted array is a valid heap for the
+        restore path.  Payloads must be plain data (ints/floats/strings
         and dicts thereof), which every built-in subsystem honors.
         Handler wiring is deliberately *not* captured: the composition
         root re-derives it by re-wiring the system from config.
         """
-        # Fold any parked same-time events into the heap so the snapshot
-        # has a single canonical queue (restore then starts with an empty
-        # now-buffer).  Pop order is unchanged: the merge rule is a pure
-        # (time, seq) comparison either way.
-        while self._now_buffer:
-            heappush(self._queue, self._now_buffer.popleft())
-        queue = [
-            (
-                t,
-                seq,
-                ev.kind,
-                # Copy dict payloads (None for the shared empty sentinel);
-                # scalar payloads (pid ints, marker strings) pass through.
-                (dict(ev.payload) or None)
-                if isinstance(ev.payload, Mapping)
-                else ev.payload,
-                ev.cancelled,
-            )
-            for (t, seq, ev) in self._queue
-        ]
+        skip = self._cancelled_lazy
+        entries = []
+        for t, seq, ev in self._active:
+            if seq not in skip:
+                entries.append(
+                    (t, seq, ev.kind, _plain_payload(ev.payload), ev.cancelled)
+                )
+        for t, seq, ev in self._now_buffer:
+            if seq not in skip:
+                entries.append(
+                    (t, seq, ev.kind, _plain_payload(ev.payload), ev.cancelled)
+                )
+        for bucket in self._buckets.values():
+            for t, seq, ev in bucket:
+                entries.append(
+                    (t, seq, ev.kind, _plain_payload(ev.payload), ev.cancelled)
+                )
+        if self._staging:
+            entries.extend(self._staging.values())
+        if self._source is not None:
+            kind = self._source_kind
+            for t, seq, payload in self._source.pending_lazy():
+                entries.append((t, seq, kind, payload, False))
+        entries.sort(key=lambda e: (e[0], e[1]))
         return {
             "clock": self.clock._now,
             "events_processed": self._events_processed,
             "next_seq": self._next_seq,
             "next_token": self._next_token,
-            "queue": queue,
+            "queue": entries,
             "rng": self.rng.snapshot(),
         }
 
@@ -303,9 +682,14 @@ class Simulator:
 
         Any events scheduled during re-wiring (first periodic firings,
         scenario shifts, populate bursts) are discarded wholesale: the
-        restored queue *is* the complete pending-event set.  Components
-        holding references into the queue re-link via
-        :meth:`restored_event` using the seq numbers they serialized.
+        restored queue *is* the complete pending-event set.  The queue
+        is *staged*, not materialized: components holding references
+        into it re-link via :meth:`restored_event` (materializing just
+        their own entries), the churn driver hands its pending deaths
+        straight back to the lazy source via :meth:`reclaim_lazy`
+        (never building their Events at all), and whatever remains is
+        finalized into the calendar at the first :meth:`run` /
+        :meth:`step`.
 
         With ``restore_rng=False`` the stream states are left untouched --
         the warm-start fork path, where each fork runs on fresh streams
@@ -315,9 +699,81 @@ class Simulator:
         self._events_processed = state["events_processed"]
         self._next_seq = state["next_seq"]
         self._next_token = state["next_token"]
-        queue: List[Tuple[float, int, Event]] = []
-        by_seq: Dict[int, Event] = {}
-        for t, seq, kind, payload, cancelled in state["queue"]:
+        self._active = []
+        self._now_buffer.clear()
+        self._buckets = {}
+        self._bucket_heap = []
+        self._bucket_count = 0
+        self._lazy_events = {}
+        self._cancelled_lazy = set()
+        if self.engine == "heap":
+            self._active_end = inf
+        else:
+            self._active_end = (self._bucket_of(self.clock._now) + 1) * self._width
+        staging: Dict[int, tuple] = {}
+        cancelled = 0
+        for entry in state["queue"]:
+            staging[entry[1]] = tuple(entry)
+            if entry[4]:
+                cancelled += 1
+        self._staging = staging
+        self._cancelled_pending = cancelled
+        self._restored_events = {}
+        if restore_rng:
+            self.rng.restore(state["rng"])
+
+    def _insert_restored(self, time: float, seq: int, ev: Event) -> None:
+        # Never the now-buffer: entries at exactly the restored clock go
+        # to the active heap, where the pure (time, seq) merge rule pops
+        # them identically (the pre-restore buffer was serialized the
+        # same way).
+        if time < self._active_end:
+            heappush(self._active, (time, seq, ev))
+        else:
+            self._bucket_push(time, seq, ev)
+
+    def restored_event(self, seq: Optional[int]) -> Optional[Event]:
+        """Look up a queue event by seq after :meth:`restore` (None-safe).
+
+        Materializes the staged entry on first access (idempotent: later
+        calls return the same object).  Raises ``KeyError`` for a seq
+        that was not in the restored queue -- a component trying to
+        adopt an event that no longer exists is a checkpoint-consistency
+        bug, not a condition to paper over.
+        """
+        if seq is None:
+            return None
+        ev = self._restored_events.get(seq)
+        if ev is not None:
+            return ev
+        if self._staging is None:
+            raise KeyError(seq)
+        t, _seq, kind, payload, cancelled = self._staging.pop(seq)
+        ev = Event(
+            time=t,
+            kind=kind,
+            payload=_EMPTY_PAYLOAD if payload is None else payload,
+            seq=seq,
+            cancelled=cancelled,
+        )
+        self._restored_events[seq] = ev
+        self._insert_restored(t, seq, ev)
+        return ev
+
+    def reclaim_lazy(self, seq: int) -> Tuple[float, Any, bool]:
+        """Hand a staged entry back to the lazy source after restore.
+
+        Returns ``(time, payload, rematerialized)``.  When the entry's
+        time falls inside the active window (always, in heap mode) it is
+        materialized into the calendar instead -- ``rematerialized`` is
+        True and the caller must not record the row in the source.
+        Raises ``KeyError`` for an unknown seq and ``RuntimeError`` once
+        the staging area has been finalized.
+        """
+        if self._staging is None:
+            raise RuntimeError("reclaim_lazy after the restore was finalized")
+        t, _seq, kind, payload, cancelled = self._staging.pop(seq)
+        if t < self._active_end:
             ev = Event(
                 time=t,
                 kind=kind,
@@ -325,27 +781,47 @@ class Simulator:
                 seq=seq,
                 cancelled=cancelled,
             )
-            queue.append((t, seq, ev))
-            by_seq[seq] = ev
-        self._queue = queue
-        self._now_buffer.clear()
-        self._restored_events = by_seq
-        if restore_rng:
-            self.rng.restore(state["rng"])
+            self._lazy_events[seq] = ev
+            heappush(self._active, (t, seq, ev))
+            return t, payload, True
+        return t, payload, False
 
-    def restored_event(self, seq: Optional[int]) -> Optional[Event]:
-        """Look up a queue event by seq after :meth:`restore` (None-safe).
+    def _finalize_restore(self) -> None:
+        """Materialize whatever is still staged and resume normal service.
 
-        Raises ``KeyError`` for a seq that was not in the restored queue --
-        a component trying to adopt an event that no longer exists is a
-        checkpoint-consistency bug, not a condition to paper over.
+        By the time this runs (first ``run()``/``step()`` after a
+        restore) the churn driver has reclaimed every lazy death into
+        its columns, so what remains is the small eager set: periodic
+        firings, scenario shifts, protocol timeouts.
         """
-        if seq is None:
-            return None
-        return self._restored_events[seq]
+        staging = self._staging
+        self._staging = None
+        if not staging:
+            return
+        to_active: List[Tuple[float, int, Event]] = []
+        restored = self._restored_events
+        for t, seq, kind, payload, cancelled in staging.values():
+            ev = Event(
+                time=t,
+                kind=kind,
+                payload=_EMPTY_PAYLOAD if payload is None else payload,
+                seq=seq,
+                cancelled=cancelled,
+            )
+            restored[seq] = ev
+            if t < self._active_end:
+                to_active.append((t, seq, ev))
+            else:
+                self._bucket_push(t, seq, ev)
+        if self._active:
+            for entry in to_active:
+                heappush(self._active, entry)
+        else:
+            to_active.sort(key=lambda e: (e[0], e[1]))
+            self._active = to_active
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Simulator(now={self.now:.3f}, pending={self.pending}, "
-            f"processed={self._events_processed})"
+            f"Simulator(engine={self.engine}, now={self.now:.3f}, "
+            f"pending={self.pending}, processed={self._events_processed})"
         )

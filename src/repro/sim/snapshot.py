@@ -14,7 +14,9 @@ Conventions the implementations follow:
 * **State is plain data** -- ints, floats, strings, bytes, and containers
   thereof.  No live objects, no generators, no events; cross-references
   into the event queue are serialized as the event's ``seq`` and
-  re-linked via :meth:`Simulator.restored_event`.
+  re-linked via :meth:`Simulator.restored_event` (or, for rows a
+  :class:`~repro.sim.scheduler.LazyEventSource` owns, handed back
+  unmaterialized via :meth:`Simulator.reclaim_lazy`).
 * **Wiring is not state.**  Handler registration, listener lists, and
   process tokens are re-derived by re-wiring the system from its config;
   ``restore`` only fills in the mutable payload.  Anything derivable from

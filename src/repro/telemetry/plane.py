@@ -149,6 +149,7 @@ def bind_standard_producers(
     reg.bind("sim.now", lambda: sim.now)
     reg.bind("sim.events_processed", lambda: sim.events_processed)
     reg.bind("sim.pending", lambda: sim.pending)
+    reg.bind("sim.pending_events", lambda: sim.live_pending)
 
     overlay = ctx.overlay
     agg = overlay.aggregates

@@ -30,11 +30,23 @@ class TestKillPeer:
         ctx, driver = build_static_system()
         pid = next(iter(ctx.overlay.leaf_ids))
         store = ctx.overlay.store
-        pending = store.dv[store.slot(pid)]
-        assert pending is not None
+        slot = store.slot(pid)
+        # The far-future death lives in the ledger columns: a reserved
+        # seq, and (on the wheel engine) an unmaterialized time in dv.
+        assert store.dseq[slot] >= 0
+        before = ctx.sim.live_pending
         assert driver.kill_peer(pid, replace=False)
         assert pid not in ctx.overlay
-        assert pending.cancelled  # the natural death will never fire
+        # The natural death will never fire: the cancel was a column
+        # write (or a tombstone, if already harvested), and either way
+        # the live-pending accounting dropped by exactly the death.
+        assert ctx.sim.live_pending == before - 1
+        live_leaves = [
+            ev.payload
+            for ev in ctx.sim.queued_events()
+            if ev.kind == "peer_leave" and not ev.cancelled
+        ]
+        assert pid not in live_leaves
 
     def test_kill_missing_peer_returns_false(self):
         ctx, driver = build_static_system()

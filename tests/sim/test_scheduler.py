@@ -183,3 +183,77 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestHandlerMutationDuringDispatch:
+    def test_off_own_kind_mid_dispatch_does_not_skip_sibling(self, sim):
+        """A handler deregistering itself must not starve the next one.
+
+        The registry iterated its handler list in place once, so removing
+        the current handler shifted its successor into the just-visited
+        index and the successor silently never fired.
+        """
+        fired = []
+
+        def first(s, e):
+            fired.append("first")
+            s.off("x", first)
+
+        def second(s, e):
+            fired.append("second")
+
+        sim.on("x", first)
+        sim.on("x", second)
+        sim.schedule(1.0, "x")
+        sim.schedule(2.0, "x")
+        sim.run()
+        assert fired == ["first", "second", "second"]
+
+    def test_on_mid_dispatch_applies_from_next_event(self, sim):
+        fired = []
+
+        def late(s, e):
+            fired.append("late")
+
+        def first(s, e):
+            fired.append("first")
+            if len(fired) == 1:
+                s.on("x", late)
+
+        sim.on("x", first)
+        sim.schedule(1.0, "x")
+        sim.schedule(2.0, "x")
+        sim.run()
+        # The registration lands after the current event's dispatch.
+        assert fired == ["first", "first", "late"]
+
+
+class TestLivePending:
+    def test_pending_counts_cancelled_live_pending_does_not(self, sim):
+        events = [sim.schedule(float(i + 1), "x") for i in range(4)]
+        assert sim.pending == 4
+        assert sim.live_pending == 4
+        assert sim.cancel(events[1])
+        assert sim.pending == 4  # the tombstone is still queued
+        assert sim.live_pending == 3
+        assert not sim.cancel(events[1])  # idempotent, counted once
+        assert sim.live_pending == 3
+
+    def test_tombstone_pop_rebalances_the_counters(self, sim):
+        events = [sim.schedule(float(i + 1), "x") for i in range(3)]
+        sim.cancel(events[0])
+        sim.run(until=1.5)
+        assert sim.pending == 2
+        assert sim.live_pending == 2
+
+    def test_live_pending_exact_through_run(self, sim):
+        delivered = []
+        sim.on("x", lambda s, e: delivered.append(e.seq))
+        events = [sim.schedule(float(i % 5) + 1.0, "x") for i in range(20)]
+        for ev in events[::3]:
+            sim.cancel(ev)
+        assert sim.live_pending == 20 - len(events[::3])
+        sim.run()
+        assert sim.pending == 0
+        assert sim.live_pending == 0
+        assert len(delivered) == 20 - len(events[::3])
