@@ -59,6 +59,7 @@ from repro.experiments.figure6 import run_figure6  # noqa: E402
 from repro.experiments.figure_families import run_figure_families  # noqa: E402
 from repro.experiments.parallel import resolve_workers  # noqa: E402
 from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.experiments.sharded import run_sharded_experiment  # noqa: E402
 from repro.experiments.sweeps import sweep_dlm_parameters  # noqa: E402
 from repro.experiments.table3 import run_table3  # noqa: E402
 from repro.search.flooding import FloodRouter  # noqa: E402
@@ -310,6 +311,86 @@ def bench_parallel(quick: bool) -> dict:
     }
 
 
+def bench_shards(quick: bool) -> dict:
+    """The sharded single-run engine at K in {1, 2, 4}.
+
+    K = 1 is the classic engine (sharding is a model parameter, so each
+    K simulates its own -- equally valid -- trajectory; walls are
+    comparable because population and horizon match).  For each K > 1
+    the 1-worker run is the reference wall and the gated throughput;
+    on multi-core hosts the same K re-runs across processes and must
+    reproduce the global series bit for bit before its speedup is
+    recorded.  On a single-core host the multi-worker measurement is
+    annotated and skipped, like :func:`bench_parallel`: K processes
+    timesharing one core measure scheduling overhead, not the engine.
+    """
+    cfg = bench_config()
+    if quick:
+        cfg = cfg.with_(n=400, horizon=150.0, warmup=30.0)
+    host_workers = resolve_workers()
+
+    started = time.perf_counter()
+    classic = run_experiment(cfg)
+    classic_s = time.perf_counter() - started
+    record = {
+        "n": cfg.n,
+        "horizon": cfg.horizon,
+        "host_workers": host_workers,
+        "by_shards": {
+            "1": {
+                "engine": "classic",
+                "wall_s": round(classic_s, 3),
+                "events": classic.ctx.sim.events_processed,
+            }
+        },
+    }
+
+    for k in (2, 4):
+        kcfg = cfg.with_(shards=k)
+        started = time.perf_counter()
+        serial = run_sharded_experiment(kcfg, workers=1)
+        serial_s = time.perf_counter() - started
+        entry = {
+            "engine": "sharded",
+            "wall_s": round(serial_s, 3),
+            "events": serial.stats.events_processed,
+            "window": serial.stats.window,
+            "sync_rounds": serial.stats.sync_rounds,
+            "cross_messages": serial.stats.cross_messages,
+        }
+        if host_workers > 1:
+            started = time.perf_counter()
+            par = run_sharded_experiment(kcfg, workers=min(host_workers, k))
+            parallel_s = time.perf_counter() - started
+            identical = all(
+                serial.series[name].values.tolist()
+                == par.series[name].values.tolist()
+                for name in serial.series.names()
+            )
+            if not identical:
+                raise AssertionError(
+                    f"{k}-shard run diverged between 1 and "
+                    f"{par.stats.workers} workers"
+                )
+            entry.update(
+                workers=par.stats.workers,
+                parallel_wall_s=round(parallel_s, 3),
+                speedup=round(serial_s / parallel_s, 2),
+                identical_series=identical,
+            )
+        else:
+            entry["multiworker"] = {
+                "skipped": True,
+                "reason": "single-core host: K processes timesharing one "
+                "core measure scheduling overhead, not engine speedup",
+            }
+        record["by_shards"][str(k)] = entry
+
+    two = record["by_shards"]["2"]
+    record["events_per_sec"] = int(two["events"] / two["wall_s"])
+    return record
+
+
 def bench_warmstart(quick: bool) -> dict:
     """Warm-start sweep forking vs the cold sweep: speedup and parity.
 
@@ -406,6 +487,7 @@ SECTIONS = (
     "largescale",
     "million",
     "parallel",
+    "shards",
     "warmstart",
     "telemetry",
 )
@@ -417,6 +499,7 @@ THROUGHPUT_METRICS = (
     ("families", "cells_per_sec"),
     ("largescale", "events_per_sec"),
     ("million", "events_per_sec"),
+    ("shards", "events_per_sec"),
     ("warmstart", "speedup"),
 )
 
@@ -692,6 +775,22 @@ def main(argv=None) -> int:
                 f"{pr['parallel_wall_s']}s parallel ({pr['speedup']}x), "
                 f"identical={pr['identical_metrics']}"
             )
+
+    if "shards" in selected:
+        print("sharded single-run engine (K = 1/2/4)...", flush=True)
+        record["shards"] = bench_shards(args.quick)
+        stamp_rss("shards")
+        for k, entry in record["shards"]["by_shards"].items():
+            line = f"  K={k} ({entry['engine']}): {entry['wall_s']}s serial"
+            if "speedup" in entry:
+                line += (
+                    f", {entry['parallel_wall_s']}s on "
+                    f"{entry['workers']} workers ({entry['speedup']}x)"
+                )
+            elif entry.get("multiworker", {}).get("skipped"):
+                line += ", multi-worker skipped (single core)"
+            print(line)
+        print(f"  2-shard serial: {record['shards']['events_per_sec']:,} events/sec")
 
     if "warmstart" in selected:
         print("warm-start sweep forking (cold vs warm)...", flush=True)

@@ -63,7 +63,15 @@ __all__ = [
 #: (``wheel``/``heap``) write byte-identical state.  v4 checkpoints
 #: serialized the raw heap array (arbitrary sibling order, tombstones
 #: included), so they are refused rather than reinterpreted.
-SCHEMA_VERSION = 5
+#: v6: the header records the logical shard count; sharded runs write
+#: one canonical file whose ``shard_states`` list (shard-index order,
+#: captured at a window barrier after mailbox routing + delivery, so no
+#: message is in transit) replaces the classic single ``state`` entry.
+#: The classic state layout is unchanged, but the config gained the
+#: trajectory-determining ``shards``/``shard_link_latency`` fields, so
+#: every v5 hash is stale and v5 files are refused rather than guessed
+#: at.
+SCHEMA_VERSION = 6
 
 #: Config fields that never affect the simulated trajectory, excluded
 #: from the compatibility hash: the run's label, how far it runs, and
@@ -198,6 +206,7 @@ class CheckpointManager:
                 "family": self.config.family,
                 "policy": result.policy.name,
                 "time": result.ctx.sim.now,
+                "shards": self.config.shards,
             },
             "config": self.config,
             "scenario": self.scenario,
@@ -289,6 +298,14 @@ def resume_run(
     if telemetry is not None:
         config = config.with_(telemetry=telemetry)
     CheckpointManager.validate(payload, config)
+    if "shard_states" in payload:
+        # A sharded (schema-v6, shards > 1) checkpoint: the window loop
+        # resumes from the recorded barrier, under any worker count.
+        from .sharded import resume_sharded_run
+
+        return resume_sharded_run(
+            payload, config, policy_factory=policy_factory
+        )
     return run_experiment(
         config,
         policy_factory=policy_factory or default_policy_factory,

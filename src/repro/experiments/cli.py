@@ -102,8 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for sweep-style experiments (sets "
-        f"{WORKERS_ENV}; default: all cores, 1 forces serial)",
+        help="worker processes for sweep-style experiments and sharded "
+        f"runs (sets {WORKERS_ENV}; default: all cores, 1 forces "
+        "serial; never changes results)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition the run into K logical shards executed by the "
+        "conservative parallel engine (a model parameter, like --seed: "
+        "different K are different trajectories; --workers controls "
+        "the processes and never changes results)",
     )
     parser.add_argument(
         "--loss",
@@ -285,6 +296,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cfg = cfg.with_(seed=args.seed)
     if args.family is not None:
         cfg = cfg.with_(family=args.family)
+    if args.shards is not None:
+        try:
+            cfg = cfg.with_(shards=args.shards)
+        except ValueError as exc:
+            logger.error("error: %s", exc)
+            return 2
     if args.loss is not None or args.latency_scale is not None:
         from ..protocol.faults import FaultPlan
 
@@ -351,16 +368,30 @@ def _resume(args) -> int:
         logger.error("error: %s", exc)
         return 1
     elapsed = time.perf_counter() - started
-    overlay = result.overlay
-    print(
-        f"resumed {result.config.name!r} ({header['policy']}) from "
-        f"t={header['time']:g} to t={result.ctx.sim.now:g}"
-    )
-    print(
-        f"  peers: {overlay.n}  supers: {overlay.n_super}  "
-        f"ratio: {overlay.layer_size_ratio():.2f}  "
-        f"joins: {result.driver.joins}  deaths: {result.driver.deaths}"
-    )
+    if hasattr(result, "stats"):  # sharded: no single overlay/ctx
+        stats = result.stats
+        print(
+            f"resumed {result.config.name!r} ({header['policy']}) from "
+            f"t={header['time']:g} to t={result.config.horizon:g} "
+            f"[{stats.shards} shards, {stats.workers} workers]"
+        )
+        ratio = result.n_leaf / result.n_super if result.n_super else float("inf")
+        print(
+            f"  peers: {result.n}  supers: {result.n_super}  "
+            f"ratio: {ratio:.2f}  "
+            f"joins: {result.joins}  deaths: {result.deaths}"
+        )
+    else:
+        overlay = result.overlay
+        print(
+            f"resumed {result.config.name!r} ({header['policy']}) from "
+            f"t={header['time']:g} to t={result.ctx.sim.now:g}"
+        )
+        print(
+            f"  peers: {overlay.n}  supers: {overlay.n_super}  "
+            f"ratio: {overlay.layer_size_ratio():.2f}  "
+            f"joins: {result.driver.joins}  deaths: {result.driver.deaths}"
+        )
     logger.info("[resume completed in %.1fs]", elapsed)
     return 0
 

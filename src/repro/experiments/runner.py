@@ -98,7 +98,8 @@ def run_experiment(
     run: bool = True,
     resume_from: Optional[dict] = None,
     fresh_rng_domain: Optional[int] = None,
-) -> RunResult:
+    populate: bool = True,
+) -> "RunResult":
     """Wire and (by default) execute one run to ``config.horizon``.
 
     With ``run=False`` the caller receives the fully wired system before
@@ -111,7 +112,30 @@ def run_experiment(
     ``fresh_rng_domain`` (warm-start forks) keeps the checkpoint's RNG
     streams *out*: the wired system draws from the given RNG domain
     instead, so forked futures are independent of the prefix's draws.
+
+    ``populate=False`` wires the system without seeding its population
+    -- the sharded resume path, which restores captured state *after*
+    attaching its own shard-plane processes so their wiring order (and
+    hence process tokens) matches a fresh sharded run.
+
+    ``config.shards > 1`` dispatches the whole run to the sharded
+    engine (:mod:`repro.experiments.sharded`) and returns its
+    :class:`~repro.experiments.sharded.ShardedRunResult` -- same
+    ``config``/``series`` surface, no single ``ctx``.
     """
+    if config.shards > 1:
+        if not run or resume_from is not None or fresh_rng_domain is not None:
+            raise ValueError(
+                "sharded configs (shards > 1) support neither run=False, "
+                "direct resume_from, nor warm-start forks through "
+                "run_experiment; use repro.experiments.sharded entry "
+                "points (resume goes through resume_run)"
+            )
+        from .sharded import run_sharded_experiment
+
+        return run_sharded_experiment(
+            config, policy_factory=policy_factory, scenario=scenario
+        )
     telemetry = telemetry_from_config(config.telemetry)
     wire_span = telemetry.span("run.wire")
     wire_span.__enter__()
@@ -140,7 +164,7 @@ def run_experiment(
         ctx, policy, lifetimes, capacities, replacement=True, scenario=scenario
     )
     wire_span.__exit__(None, None, None)
-    if resume_from is None:
+    if resume_from is None and populate:
         with telemetry.span("run.populate"):
             driver.populate(config.n, warmup=config.warmup)
 

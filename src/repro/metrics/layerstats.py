@@ -77,7 +77,7 @@ def scan_layer_stats(overlay: Overlay, now: float) -> Dict[str, float]:
 class LayerStatsSampler:
     """Periodic layer-statistics sampler (O(1) per sample)."""
 
-    __slots__ = ("overlay", "bundle", "_process")
+    __slots__ = ("overlay", "bundle", "_process", "_listeners")
 
     def __init__(
         self,
@@ -90,9 +90,20 @@ class LayerStatsSampler:
     ) -> None:
         self.overlay = overlay
         self.bundle = bundle if bundle is not None else SeriesBundle()
+        self._listeners: list = []
         self._process = PeriodicProcess(
             sim, interval, self.sample, start=start, kind=EventKind.METRICS_SAMPLE
         )
+
+    def add_sample_listener(self, listener) -> None:
+        """Register ``listener(now, aggregates)`` to run after each tick.
+
+        The shard plane uses this to log the exact big-int aggregate
+        state at every sample time (see
+        :class:`~repro.metrics.shardstats.ShardSampleLog`); listeners
+        observe, they must not mutate.
+        """
+        self._listeners.append(listener)
 
     def stop(self) -> None:
         """Cancel future samples."""
@@ -127,3 +138,5 @@ class LayerStatsSampler:
         b.record("super_mean_capacity", now, sup.mean_capacity())
         b.record("leaf_mean_capacity", now, leaf.mean_capacity())
         b.record("super_mean_lnn", now, agg.super_mean_lnn())
+        for listener in self._listeners:
+            listener(now, agg)

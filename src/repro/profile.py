@@ -71,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="root seed")
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="profile the conservative sharded engine at K logical "
+        "shards (experiment harnesses only; the profile covers the "
+        "parent's window loop plus, when serial, the shard schedulers)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sharded runs (sets REPRO_WORKERS; "
+        "only in-process work appears in the profile)",
+    )
+    parser.add_argument(
         "--events", type=int, default=100_000, help="events for the scheduler workload"
     )
     parser.add_argument(
@@ -160,6 +177,8 @@ def _experiment_workload(args: argparse.Namespace) -> Callable[[], object]:
     cfg = base().with_(n=args.n, horizon=args.horizon)
     if args.seed is not None:
         cfg = cfg.with_(seed=args.seed)
+    if args.shards is not None:
+        cfg = cfg.with_(shards=args.shards)
     exp = get_experiment(args.experiment)
     return lambda: exp.run(cfg)
 
@@ -172,6 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Through the environment, not a ctor kwarg: experiment harnesses
         # build their own Simulators, so every one of them must inherit it.
         os.environ["REPRO_SCHED"] = args.sched
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     if args.experiment == "scheduler":
         workload = _scheduler_workload(args.events)

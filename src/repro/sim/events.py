@@ -39,6 +39,8 @@ class EventKind:
     SCENARIO_SHIFT = "scenario_shift"
     TRANSPORT_DELIVER = "transport_deliver"
     TRANSPORT_TIMEOUT = "transport_timeout"
+    SHARD_GOSSIP = "shard_gossip"
+    SHARD_DELIVER = "shard_deliver"
     GENERIC = "generic"
 
     _ALL = (
@@ -53,6 +55,8 @@ class EventKind:
         SCENARIO_SHIFT,
         TRANSPORT_DELIVER,
         TRANSPORT_TIMEOUT,
+        SHARD_GOSSIP,
+        SHARD_DELIVER,
         GENERIC,
     )
 

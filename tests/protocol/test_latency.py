@@ -8,8 +8,11 @@ import pytest
 from repro.protocol.latency import (
     ConstantLatency,
     LogNormalLatency,
+    MixtureLatency,
+    ShiftedLatency,
     UniformLatency,
     default_latency_model,
+    default_shard_link_model,
 )
 
 
@@ -65,6 +68,194 @@ class TestDefault:
         model = default_latency_model()
         assert isinstance(model, LogNormalLatency)
         assert model.mean > 1.0  # lognormal mean exceeds median
+
+
+class TestShiftedLatency:
+    def test_samples_raised_by_shift(self, rng):
+        s = ShiftedLatency(UniformLatency(0.0, 1.0), 2.0).sample(rng, 1000)
+        assert s.min() >= 2.0 and s.max() <= 3.0
+
+    def test_mean(self):
+        assert ShiftedLatency(ConstantLatency(1.0), 0.5).mean == 1.5
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftedLatency(ConstantLatency(1.0), -0.1)
+
+
+class TestMixtureLatency:
+    def test_samples_come_from_components(self, rng):
+        model = MixtureLatency(
+            [ConstantLatency(1.0), ConstantLatency(5.0)], [0.5, 0.5]
+        )
+        s = model.sample(rng, 2000)
+        assert set(np.unique(s)) == {1.0, 5.0}
+
+    def test_mean_is_weighted(self):
+        model = MixtureLatency(
+            [ConstantLatency(1.0), ConstantLatency(5.0)], [3.0, 1.0]
+        )
+        assert model.mean == pytest.approx(0.75 * 1.0 + 0.25 * 5.0)
+
+    def test_weights_normalized(self):
+        model = MixtureLatency([ConstantLatency(1.0)], [7.0])
+        assert model.weights == (1.0,)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MixtureLatency([], [])
+        with pytest.raises(ValueError):
+            MixtureLatency([ConstantLatency(1.0)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            MixtureLatency([ConstantLatency(1.0)], [-1.0])
+        with pytest.raises(ValueError):
+            MixtureLatency(
+                [ConstantLatency(1.0), ConstantLatency(2.0)], [0.0, 0.0]
+            )
+
+
+class TestMinDelay:
+    """The exact-lower-bound contract every model must honor."""
+
+    def test_constant(self):
+        assert ConstantLatency(2.5).min_delay() == 2.5
+        assert ConstantLatency(0.0).min_delay() == 0.0
+
+    def test_uniform(self):
+        assert UniformLatency(1.0, 3.0).min_delay() == 1.0
+        assert UniformLatency(0.0, 3.0).min_delay() == 0.0
+
+    def test_lognormal_is_honestly_zero(self):
+        assert LogNormalLatency(median=5.0, sigma=0.5).min_delay() == 0.0
+
+    def test_shifted(self):
+        assert ShiftedLatency(ConstantLatency(1.0), 0.5).min_delay() == 1.5
+        assert (
+            ShiftedLatency(LogNormalLatency(1.0, 0.5), 0.25).min_delay() == 0.25
+        )
+
+    def test_mixture_takes_component_minimum(self):
+        model = MixtureLatency(
+            [UniformLatency(1.0, 2.0), ConstantLatency(0.5)], [0.5, 0.5]
+        )
+        assert model.min_delay() == 0.5
+
+    def test_mixture_ignores_zero_weight_components(self):
+        model = MixtureLatency(
+            [UniformLatency(1.0, 2.0), ConstantLatency(0.0)], [1.0, 0.0]
+        )
+        assert model.min_delay() == 1.0
+
+    def test_nested_mixture_of_shifted_models(self):
+        model = MixtureLatency(
+            [
+                ShiftedLatency(LogNormalLatency(1.0, 0.5), 0.75),
+                MixtureLatency(
+                    [ConstantLatency(2.0), UniformLatency(0.5, 1.0)],
+                    [0.5, 0.5],
+                ),
+            ],
+            [0.25, 0.75],
+        )
+        assert model.min_delay() == 0.5
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ConstantLatency(1.5),
+            UniformLatency(0.5, 1.5),
+            LogNormalLatency(1.0, 0.5),
+            ShiftedLatency(LogNormalLatency(1.0, 0.5), 0.5),
+            MixtureLatency(
+                [ShiftedLatency(UniformLatency(0.0, 1.0), 0.25),
+                 ConstantLatency(2.0)],
+                [0.8, 0.2],
+            ),
+            default_shard_link_model(),
+        ],
+        ids=["constant", "uniform", "lognormal", "shifted", "mixture", "shard"],
+    )
+    def test_bound_never_violated_by_samples(self, model, rng):
+        s = model.sample(rng, 20_000)
+        assert float(s.min()) >= model.min_delay()
+
+    def test_default_shard_link_has_positive_lookahead(self):
+        assert default_shard_link_model().min_delay() > 0.0
+
+
+class TestStableReprs:
+    """Model reprs feed the checkpoint config hash; no memory addresses."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ConstantLatency(1.5),
+            UniformLatency(0.5, 1.5),
+            LogNormalLatency(2.0, 0.5),
+            ShiftedLatency(UniformLatency(0.0, 1.0), 0.5),
+            MixtureLatency(
+                [ConstantLatency(1.0), ConstantLatency(2.0)], [1.0, 3.0]
+            ),
+        ],
+        ids=["constant", "uniform", "lognormal", "shifted", "mixture"],
+    )
+    def test_repr_roundtrips_by_eval(self, model):
+        rebuilt = eval(repr(model))  # noqa: S307 - controlled test input
+        assert repr(rebuilt) == repr(model)
+        assert "0x" not in repr(model)
+
+
+class TestShardedConfigValidation:
+    """Sharded runs refuse zero-lookahead link models, loudly."""
+
+    def test_zero_lookahead_model_refused(self):
+        from repro.experiments.configs import table2_config
+
+        with pytest.raises(ValueError, match="positive lookahead"):
+            table2_config().with_(
+                n=400,
+                shards=2,
+                shard_link_latency=LogNormalLatency(1.0, 0.5),
+            )
+
+    def test_refusal_message_is_actionable(self):
+        from repro.experiments.configs import table2_config
+
+        with pytest.raises(ValueError, match="ShiftedLatency"):
+            table2_config().with_(
+                n=400,
+                shards=2,
+                shard_link_latency=UniformLatency(0.0, 1.0),
+            )
+
+    def test_zero_lookahead_mixture_refused(self):
+        from repro.experiments.configs import table2_config
+
+        mixture = MixtureLatency(
+            [ConstantLatency(2.0), LogNormalLatency(1.0, 0.5)], [0.9, 0.1]
+        )
+        assert mixture.min_delay() == 0.0
+        with pytest.raises(ValueError, match="min_delay"):
+            table2_config().with_(n=400, shards=2, shard_link_latency=mixture)
+
+    def test_positive_lookahead_model_accepted(self):
+        from repro.experiments.configs import table2_config
+
+        cfg = table2_config().with_(
+            n=400,
+            shards=2,
+            horizon=2000.0,
+            shard_link_latency=ShiftedLatency(LogNormalLatency(1.0, 0.5), 0.5),
+        )
+        assert cfg.shard_link_model().min_delay() == 0.5
+
+    def test_unsharded_config_accepts_any_model(self):
+        from repro.experiments.configs import table2_config
+
+        cfg = table2_config().with_(
+            shard_link_latency=LogNormalLatency(1.0, 0.5)
+        )
+        assert cfg.shards == 1
 
 
 class TestTimedFlooding:
