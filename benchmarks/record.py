@@ -21,6 +21,12 @@ Modes
     (default 15%).  This is the CI regression gate: compare against the
     latest committed ``BENCH_*.json``.  Records taken with a different
     ``--quick`` setting are not comparable; the gate warns and passes.
+``--trend``
+    Print the per-section wall-time and peak-RSS trajectory across
+    *every* committed ``BENCH_*.json`` (ordered like the baseline
+    selection: embedded date, git commit-time tie-break) instead of
+    recording anything.  ``--format md`` emits Markdown tables for
+    pasting into a PR or report.
 
 The parallel section verifies serial/parallel metric equality (the
 engine's bit-identical contract) and records the speedup.  On a host
@@ -622,6 +628,137 @@ def latest_baseline(root: Path = ROOT) -> str | None:
     return str(best_path) if best_path is not None else None
 
 
+#: ``--trend`` section labels -> the record key their data lives under.
+TREND_SECTIONS = (
+    ("scheduler", "scheduler"),
+    ("flooding", "flooding"),
+    ("harness", "harness_wall_s"),
+    ("families", "families"),
+    ("largescale", "largescale"),
+    ("million", "million"),
+    ("parallel", "parallel_replicate"),
+    ("shards", "shards"),
+    ("warmstart", "warmstart"),
+    ("telemetry", "telemetry"),
+)
+
+
+def _section_wall(label: str, data: dict):
+    """One representative wall-time figure for a section's record entry."""
+    if label == "harness":
+        # harness_wall_s maps harness name -> wall (plus the stamped RSS).
+        walls = [
+            v
+            for k, v in data.items()
+            if k != "peak_rss_mb" and isinstance(v, (int, float))
+        ]
+        return round(sum(walls), 3) if walls else None
+    for key in ("wall_s", "serial_wall_s", "disabled_wall_s", "warm_wall_s"):
+        if isinstance(data.get(key), (int, float)):
+            return data[key]
+    two = data.get("by_shards", {}).get("2")
+    if isinstance(two, dict) and isinstance(two.get("wall_s"), (int, float)):
+        return two["wall_s"]  # shards: the gated 2-shard serial wall
+    return None
+
+
+def collect_trend(root: Path = ROOT) -> list:
+    """Every readable ``BENCH_*.json``, oldest first, reduced for --trend.
+
+    Ordered by the same key as :func:`latest_baseline` (embedded date,
+    git commit-time tie-break); files without a date are skipped.
+    """
+    entries = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            rec = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        embedded = rec.get("date")
+        if not isinstance(embedded, str) or not embedded:
+            continue
+        entries.append(((embedded, _git_commit_time(path)), path, rec))
+    entries.sort(key=lambda e: e[0])
+    rows = []
+    for (embedded, _), path, rec in entries:
+        sections = {}
+        for label, key in TREND_SECTIONS:
+            data = rec.get(key)
+            if not isinstance(data, dict):
+                continue
+            wall = _section_wall(label, data)
+            rss = data.get("peak_rss_mb")
+            if wall is None and rss is None:
+                continue
+            sections[label] = {"wall_s": wall, "peak_rss_mb": rss}
+        rows.append(
+            {
+                "file": path.name,
+                "date": embedded,
+                "commit": rec.get("commit"),
+                "quick": bool(rec.get("quick")),
+                "sections": sections,
+            }
+        )
+    return rows
+
+
+def _trend_table(rows: list, metric: str, title: str, fmt: str) -> list:
+    labels = [
+        label
+        for label, _ in TREND_SECTIONS
+        if any(
+            row["sections"].get(label, {}).get(metric) is not None
+            for row in rows
+        )
+    ]
+    if not labels:
+        return []
+    header = ["record"] + labels
+    body = []
+    for row in rows:
+        name = f"{row['date']} {row['commit'] or '?'}"
+        if row["quick"]:
+            name += " (quick)"
+        cells = [name]
+        for label in labels:
+            value = row["sections"].get(label, {}).get(metric)
+            cells.append("-" if value is None else f"{value:g}")
+        body.append(cells)
+    if fmt == "md":
+        lines = [f"### {title}", ""]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        lines.extend("| " + " | ".join(cells) + " |" for cells in body)
+    else:
+        widths = [
+            max(len(line[i]) for line in [header] + body)
+            for i in range(len(header))
+        ]
+        lines = [f"{title}:"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.extend(
+            "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+            for cells in body
+        )
+    lines.append("")
+    return lines
+
+
+def render_trend(rows: list, fmt: str = "text") -> str:
+    """The --trend report: wall-time and peak-RSS trajectory tables.
+
+    Quick-mode records are flagged inline -- their numbers sit in the
+    same columns but are only comparable to other quick records.
+    """
+    lines = []
+    lines += _trend_table(rows, "wall_s", "wall time (s) by section", fmt)
+    lines += _trend_table(rows, "peak_rss_mb", "peak RSS (MB) by section", fmt)
+    if not lines:
+        return "no trend data in the discovered records"
+    return "\n".join(lines).rstrip()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -649,6 +786,20 @@ def main(argv=None) -> int:
         help="max tolerated peak-RSS growth as a fraction (default 0.20)",
     )
     parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="print the per-section wall-time / peak-RSS trajectory "
+        "across all committed BENCH_*.json records and exit (runs "
+        "nothing)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "md"),
+        default="text",
+        help="--trend output format (default: aligned text; 'md' emits "
+        "Markdown tables)",
+    )
+    parser.add_argument(
         "--latest-baseline",
         action="store_true",
         help="print the path of the latest committed BENCH_*.json "
@@ -670,6 +821,14 @@ def main(argv=None) -> int:
         base = latest_baseline()
         if base:
             print(base)
+        return 0
+
+    if args.trend:
+        rows = collect_trend()
+        if not rows:
+            print("no BENCH_*.json records found", file=sys.stderr)
+            return 1
+        print(render_trend(rows, args.format))
         return 0
 
     if args.sections is None:

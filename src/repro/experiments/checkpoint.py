@@ -71,13 +71,27 @@ __all__ = [
 #: trajectory-determining ``shards``/``shard_link_latency`` fields, so
 #: every v5 hash is stale and v5 files are refused rather than guessed
 #: at.
-SCHEMA_VERSION = 6
+#: v7: the state carries a ``health`` entry (detector windows, breach
+#: streaks, flap transition history, flight-dump budget) so a resumed
+#: run's ``health.*`` record stream continues bit-identically.  The
+#: config gained the hash-excluded ``health`` field; v6 files lack the
+#: entry and are refused rather than resumed with silently reset
+#: detectors.
+SCHEMA_VERSION = 7
 
 #: Config fields that never affect the simulated trajectory, excluded
-#: from the compatibility hash: the run's label, how far it runs, and
-#: where/how often checkpoints are written.
+#: from the compatibility hash: the run's label, how far it runs,
+#: where/how often checkpoints are written, and the observe-only
+#: telemetry/health planes.
 _HASH_EXCLUDED_FIELDS = frozenset(
-    {"name", "horizon", "checkpoint_every", "checkpoint_path", "telemetry"}
+    {
+        "name",
+        "horizon",
+        "checkpoint_every",
+        "checkpoint_path",
+        "telemetry",
+        "health",
+    }
 )
 
 
@@ -129,6 +143,11 @@ def capture_run_state(result) -> dict:
             else result.checkpoint_process.snapshot()
         ),
         "telemetry": ctx.telemetry.snapshot(),
+        "health": (
+            None
+            if getattr(result, "health_monitor", None) is None
+            else result.health_monitor.snapshot()
+        ),
     }
     return state
 
@@ -174,6 +193,13 @@ def restore_run_state(result, state: dict, *, restore_rng: bool = True) -> None:
     # disabled-mode snapshot (fresh buffers) and a disabled plane ignores
     # everything, so every old/new combination resumes cleanly.
     ctx.telemetry.restore(state.get("telemetry"))
+    # Same tolerance for the health plane: a monitor wired at resume
+    # time adopts the captured detector state when present, otherwise
+    # starts fresh; captured state without a wired monitor (health
+    # switched off on resume) is simply dropped.
+    monitor = getattr(result, "health_monitor", None)
+    if monitor is not None:
+        monitor.restore(state.get("health"))
 
 
 class CheckpointManager:
@@ -270,6 +296,7 @@ def resume_run(
     horizon: Optional[float] = None,
     policy_factory=None,
     telemetry=None,
+    health=None,
 ):
     """Rebuild the checkpointed system and run it to the horizon.
 
@@ -280,7 +307,8 @@ def resume_run(
     telemetry settings -- it is hash-excluded, so a run checkpointed
     without telemetry can be resumed with it (and vice versa); when the
     checkpoint carries telemetry state the resumed plane continues its
-    record stream seamlessly.
+    record stream seamlessly.  ``health`` overrides the checkpointed
+    health settings under the same hash-excluded contract.
     """
     # Runner imports this module for the periodic writer; import lazily
     # to keep the module graph acyclic at import time.
@@ -297,6 +325,8 @@ def resume_run(
         config = config.with_(horizon=horizon)
     if telemetry is not None:
         config = config.with_(telemetry=telemetry)
+    if health is not None:
+        config = config.with_(health=health)
     CheckpointManager.validate(payload, config)
     if "shard_states" in payload:
         # A sharded (schema-v6, shards > 1) checkpoint: the window loop

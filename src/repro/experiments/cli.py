@@ -7,7 +7,11 @@ table plus the shape metrics recorded in EXPERIMENTS.md.
 ``repro trace <run.jsonl>`` and ``repro stats <run.jsonl>`` inspect a
 run's exported telemetry (see :mod:`repro.telemetry.cli`); the
 ``--telemetry`` / ``--audit-jsonl`` / ``--chrome-trace`` / ``--progress``
-flags produce those artifacts in the first place.
+flags produce those artifacts in the first place.  ``repro health
+<run.jsonl>`` renders the SLO report of a run executed with
+``--health`` (its exit code gates CI), and ``repro postmortem
+<bundle.json>`` renders a flight-recorder bundle (see
+:mod:`repro.health.cli`).
 
 Status and diagnostics go through :mod:`logging` (one root config on
 stderr, ``-v``/``--quiet`` to adjust); rendered figures and tables stay
@@ -34,7 +38,7 @@ __all__ = ["main", "build_parser", "configure_logging"]
 logger = logging.getLogger("repro.cli")
 
 #: Subcommands dispatched to the telemetry CLI before argparse runs.
-_TELEMETRY_COMMANDS = ("trace", "stats")
+_TELEMETRY_COMMANDS = ("trace", "stats", "health", "postmortem")
 
 
 def configure_logging(verbosity: int = 0) -> None:
@@ -208,6 +212,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="also record Phase-1 request lifecycle stages (implies "
         "--telemetry; message-driven runs only produce stages)",
     )
+    health = parser.add_argument_group(
+        "run health",
+        "streaming anomaly detectors over the telemetry stream "
+        "(ratio drift, role flapping, load imbalance, timeout surges, "
+        "DLM defer spikes, stalled clock); read the verdict back with "
+        "'repro health <run.jsonl>'",
+    )
+    health.add_argument(
+        "--health",
+        action="store_true",
+        help="enable the run-health plane with default SLO thresholds "
+        "(implies --telemetry)",
+    )
+    health.add_argument(
+        "--slo",
+        action="append",
+        metavar="KEY=VALUE[,KEY=VALUE...]",
+        default=None,
+        help="override health thresholds (repeatable; implies --health). "
+        "KEYs are HealthConfig fields, e.g. ratio_band=0.3,"
+        "critical_after=2; VALUE 'none' disables a detector",
+    )
+    health.add_argument(
+        "--flight-recorder",
+        metavar="PATH",
+        default=None,
+        help="arm the crash flight recorder: on a critical detector "
+        "firing (or an unhandled exception, at PATH.crash) dump a "
+        "bounded postmortem bundle readable by 'repro postmortem' "
+        "(implies --health)",
+    )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
         "-v",
@@ -242,6 +277,50 @@ def _telemetry_config(args) -> Optional[TelemetryConfig]:
         progress_every=args.progress,
         transport_trace=args.transport_trace,
     )
+
+
+def _coerce_slo_value(text: str):
+    """``--slo`` values: 'none' disables, else int, float, or string."""
+    if text.lower() in ("none", "null", "off"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _health_config(args):
+    """The run's HealthConfig, or None when no health flag was given.
+
+    Raises ValueError on a malformed or unknown ``--slo`` override (the
+    callers turn that into exit code 2).
+    """
+    if not (args.health or args.slo or args.flight_recorder is not None):
+        return None
+    from ..health.config import HealthConfig
+
+    valid = set(HealthConfig.field_names())
+    overrides = {}
+    for spec in args.slo or ():
+        for pair in spec.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(f"--slo needs KEY=VALUE, got {pair!r}")
+            if key not in valid:
+                raise ValueError(
+                    f"unknown --slo key {key!r}; valid keys: "
+                    + ", ".join(sorted(valid))
+                )
+            overrides[key] = _coerce_slo_value(value.strip())
+    if args.flight_recorder is not None:
+        overrides["flight_path"] = args.flight_recorder
+    return HealthConfig(**overrides)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -322,6 +401,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     telemetry_cfg = _telemetry_config(args)
     if telemetry_cfg is not None:
         cfg = cfg.with_(telemetry=telemetry_cfg)
+    try:
+        health_cfg = _health_config(args)
+    except ValueError as exc:
+        logger.error("error: %s", exc)
+        return 2
+    if health_cfg is not None:
+        # The runner auto-wires a default TelemetryConfig when health is
+        # enabled without any --telemetry flag.
+        cfg = cfg.with_(health=health_cfg)
 
     started = time.perf_counter()
     if args.experiment == "table3" and args.n is None:
@@ -360,9 +448,17 @@ def _resume(args) -> int:
 
     started = time.perf_counter()
     try:
+        health_cfg = _health_config(args)
+    except ValueError as exc:
+        logger.error("error: %s", exc)
+        return 2
+    try:
         header = CheckpointManager.load(args.resume)["header"]
         result = resume_run(
-            args.resume, horizon=args.horizon, telemetry=_telemetry_config(args)
+            args.resume,
+            horizon=args.horizon,
+            telemetry=_telemetry_config(args),
+            health=health_cfg,
         )
     except CheckpointError as exc:
         logger.error("error: %s", exc)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.config import DLMConfig
+from ..health.config import HealthConfig
 from ..protocol.faults import FaultPlan
 from ..protocol.latency import LatencyModel, default_shard_link_model
 from ..telemetry.config import TelemetryConfig
@@ -96,6 +97,12 @@ class ExperimentConfig:
     #: default).  Telemetry observes without perturbing the trajectory,
     #: so this too is excluded from the checkpoint-compat config hash.
     telemetry: Optional[TelemetryConfig] = None
+    #: Run-health plane settings -- SLO thresholds, detector windows,
+    #: flight-recorder path (None: disabled).  Health observes through
+    #: the telemetry plane (enabling it auto-enables telemetry with
+    #: defaults) and never perturbs the trajectory, so like
+    #: ``telemetry`` it is excluded from the checkpoint config hash.
+    health: Optional[HealthConfig] = None
     #: Number of logical shards the population partitions into.  1 (the
     #: default) runs the classic single-process engine.  K > 1 runs K
     #: regional sub-overlays coupled only through the shard-link mailbox

@@ -21,6 +21,7 @@ from ..churn.scenarios import Scenario
 from ..context import SystemContext, build_context
 from ..core.dlm import DLMPolicy
 from ..core.policy import LayerPolicy
+from ..health.plane import HealthMonitor
 from ..metrics.layerstats import LayerStatsSampler
 from ..metrics.timeseries import SeriesBundle
 from ..search.content import ContentCatalog
@@ -29,6 +30,7 @@ from ..search.workload import QueryWorkload
 from ..sim.processes import PeriodicProcess
 from ..telemetry import (
     ProgressReporter,
+    TelemetryConfig,
     attach_transport_trace,
     bind_standard_producers,
     export_run,
@@ -57,6 +59,7 @@ class RunResult:
     directory: Optional[ContentDirectory] = None
     checkpoint_manager: Optional[CheckpointManager] = None
     checkpoint_process: Optional[PeriodicProcess] = None
+    health_monitor: Optional["HealthMonitor"] = None
 
     @property
     def overlay(self):
@@ -136,7 +139,13 @@ def run_experiment(
         return run_sharded_experiment(
             config, policy_factory=policy_factory, scenario=scenario
         )
-    telemetry = telemetry_from_config(config.telemetry)
+    telemetry_cfg = config.telemetry
+    if telemetry_cfg is None and config.health is not None:
+        # The health plane observes *through* telemetry: detectors need
+        # the record log and registry, so enabling health without an
+        # explicit TelemetryConfig wires the default one.
+        telemetry_cfg = TelemetryConfig()
+    telemetry = telemetry_from_config(telemetry_cfg)
     wire_span = telemetry.span("run.wire")
     wire_span.__enter__()
     ctx = build_context(
@@ -194,6 +203,16 @@ def run_experiment(
         telemetry, ctx, driver=driver, policy=policy, workload=workload
     )
 
+    health_monitor = None
+    if config.health is not None:
+        health_monitor = HealthMonitor(
+            config.health,
+            telemetry=telemetry,
+            ctx=ctx,
+            policy=policy,
+            run_config=config,
+        ).attach(sampler)
+
     result = RunResult(
         config=config,
         ctx=ctx,
@@ -204,6 +223,7 @@ def run_experiment(
         maintenance_process=maintenance_process,
         workload=workload,
         directory=directory,
+        health_monitor=health_monitor,
     )
 
     if config.checkpoint_every is not None:
@@ -236,6 +256,13 @@ def run_experiment(
         try:
             with telemetry.span("run.execute"):
                 ctx.sim.run(until=config.horizon)
+        except Exception as exc:
+            # The flight recorder's crash half: dump the postmortem
+            # bundle (record/audit tails, scheduler state) before the
+            # exception propagates.
+            if health_monitor is not None:
+                health_monitor.crash_dump(exc)
+            raise
         finally:
             if reporter is not None:
                 reporter.detach()

@@ -64,7 +64,7 @@ from ..sim.shard import (
     partition_counts,
     shard_seed,
 )
-from ..telemetry import export_run
+from ..telemetry import WindowProgress, export_run
 from ..telemetry.export import write_sharded_chrome_trace
 from .checkpoint import (
     SCHEMA_VERSION,
@@ -111,8 +111,14 @@ def shard_config(config: ExperimentConfig, index: int) -> ExperimentConfig:
             jsonl_path=_suffix_path(telemetry.jsonl_path, index),
             chrome_trace_path=_suffix_path(telemetry.chrome_trace_path, index),
             # K interleaved stderr reporters are noise; the plane's
-            # barrier loop is the natural progress surface.
+            # barrier loop reduces to run-level WindowProgress lines.
             progress_every=None,
+        )
+    health = config.health
+    if health is not None and health.flight_path is not None:
+        # K flight recorders must never clobber one shared bundle path.
+        health = dataclasses.replace(
+            health, flight_path=_suffix_path(health.flight_path, index)
         )
     return config.with_(
         name=f"{config.name}.s{index}",
@@ -123,6 +129,7 @@ def shard_config(config: ExperimentConfig, index: int) -> ExperimentConfig:
         checkpoint_every=None,
         checkpoint_path=None,
         telemetry=telemetry,
+        health=health,
     )
 
 
@@ -414,12 +421,13 @@ class _SerialExecutor:
                 run.restore_state(state)
         self.policy_name = self.runs[0].result.policy.name
 
-    def advance(self, t_end: float) -> List[ShardMessage]:
+    def advance(self, t_end: float) -> tuple:
         outgoing: List[ShardMessage] = []
+        events = 0
         for run in self.runs:
-            run.advance(t_end)
+            events += run.advance(t_end)
             outgoing.extend(run.drain())
-        return outgoing
+        return outgoing, events
 
     def deliver(self, inboxes: List[List[ShardMessage]]) -> None:
         for run in self.runs:
@@ -462,10 +470,11 @@ def _shard_worker(conn, config, policy_factory, scenario, shard_ids, states):
             op = msg[0]
             if op == "advance":
                 outgoing: List[ShardMessage] = []
+                events = 0
                 for k in shard_ids:
-                    runs[k].advance(msg[1])
+                    events += runs[k].advance(msg[1])
                     outgoing.extend(runs[k].drain())
-                conn.send(("ok", outgoing))
+                conn.send(("ok", outgoing, events))
             elif op == "deliver":
                 for k in shard_ids:
                     runs[k].deliver(msg[1][k])
@@ -533,13 +542,16 @@ class _ProcessExecutor:
             raise RuntimeError(f"shard worker failed:\n{msg[1]}")
         return msg
 
-    def advance(self, t_end: float) -> List[ShardMessage]:
+    def advance(self, t_end: float) -> tuple:
         for conn in self.conns:
             conn.send(("advance", t_end))
         outgoing: List[ShardMessage] = []
+        events = 0
         for conn in self.conns:
-            outgoing.extend(self._recv(conn)[1])
-        return outgoing
+            msg = self._recv(conn)
+            outgoing.extend(msg[1])
+            events += msg[2]
+        return outgoing, events
 
     def deliver(self, inboxes: List[List[ShardMessage]]) -> None:
         # No ack: the pipe is ordered, so the next command finds the
@@ -623,6 +635,19 @@ def _execute(
         if config.checkpoint_every is None
         else t_start + config.checkpoint_every
     )
+    progress = None
+    if (
+        config.telemetry is not None
+        and config.telemetry.progress_every is not None
+    ):
+        # Per-shard reporters are suppressed in shard_config(); the
+        # barrier loop reduces to one run-level line instead.
+        progress = WindowProgress(
+            horizon=config.horizon,
+            every=config.telemetry.progress_every,
+            label=config.name,
+        )
+    total_events = 0
     try:
         # The barrier grid is i * window from t = 0; config validation
         # guarantees the horizon is a grid point, and a resume starts
@@ -631,8 +656,11 @@ def _execute(
         last_step = round(config.horizon / window)
         for i in range(first_step, last_step + 1):
             t_end = i * window
-            outgoing = executor.advance(t_end)
+            outgoing, events = executor.advance(t_end)
+            total_events += events
             executor.deliver(_route(outgoing, nshards))
+            if progress is not None:
+                progress.update(t_end, total_events)
             if next_due is not None and t_end >= next_due - 1e-12:
                 write_sharded_checkpoint(
                     config.checkpoint_path,
@@ -677,6 +705,25 @@ def _execute(
             write_sharded_chrome_trace(
                 config.telemetry.chrome_trace_path, lanes
             )
+    if config.telemetry is not None and config.telemetry.jsonl_path:
+        # The run-level stream: per-shard exports merged by the
+        # (t, shard, seq) total order, so every read-back CLI sees a
+        # sharded run exactly like a classic one.
+        from ..health.aggregate import write_merged_run
+
+        write_merged_run(
+            config.telemetry.jsonl_path,
+            [
+                _suffix_path(config.telemetry.jsonl_path, k)
+                for k in range(nshards)
+            ],
+            header_overrides={
+                "name": config.name,
+                "n": config.n,
+                "seed": config.seed,
+                "shards": config.shards,
+            },
+        )
     return ShardedRunResult(
         config=config,
         series=series,

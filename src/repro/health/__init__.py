@@ -1,0 +1,42 @@
+"""The run-health plane: detect, attribute, and flight-record.
+
+Layered on the telemetry plane (DESIGN.md §7) and deterministic by the
+same construction -- no wall clock, no RNG, event-time only -- so
+``health.*`` records and the ``repro health`` report are part of the
+reproducible trajectory.  Four pieces:
+
+* streaming detectors over sliding event-time windows
+  (:mod:`repro.health.detectors`);
+* the declarative SLO spec (:class:`HealthConfig`) and the pass/fail
+  report (:mod:`repro.health.slo`);
+* cross-shard stream aggregation, which merges K per-shard telemetry
+  exports into one run-level stream (:mod:`repro.health.aggregate`);
+* the flight recorder, a bounded postmortem bundle dumped on critical
+  firings or runner crashes (:mod:`repro.health.flight`).
+
+See DESIGN.md §12 for the full contract.
+"""
+
+from .aggregate import merge_streams, resolve_run_stream, shard_stream_paths
+from .config import HealthConfig
+from .detectors import DETECTOR_NAMES, Firing, HealthSample, build_detectors
+from .flight import load_flight_bundle, write_flight_bundle
+from .plane import HealthMonitor
+from .slo import HealthReport, build_report, render_report
+
+__all__ = [
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthSample",
+    "Firing",
+    "DETECTOR_NAMES",
+    "build_detectors",
+    "build_report",
+    "render_report",
+    "merge_streams",
+    "resolve_run_stream",
+    "shard_stream_paths",
+    "load_flight_bundle",
+    "write_flight_bundle",
+]

@@ -27,8 +27,15 @@ from .plane import (
     bind_standard_producers,
     telemetry_from_config,
 )
-from .progress import ProgressReporter
-from .records import SCHEMAS, AuditLog, RecordLog, record_as_dict
+from .progress import ProgressReporter, WindowProgress
+from .records import (
+    HEALTH_FIELDS,
+    SCHEMAS,
+    AuditLog,
+    RecordLog,
+    record_as_dict,
+    register_schema,
+)
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import NULL_SPAN, Span, SpanTimer
 
@@ -51,8 +58,11 @@ __all__ = [
     "RecordLog",
     "AuditLog",
     "SCHEMAS",
+    "HEALTH_FIELDS",
     "record_as_dict",
+    "register_schema",
     "ProgressReporter",
+    "WindowProgress",
     "export_run",
     "iter_jsonl",
     "write_jsonl",

@@ -3,8 +3,15 @@
 Both commands read the JSONL stream written by
 :func:`repro.telemetry.export.export_run` -- they need no simulator and
 no run state, just the file.  ``trace`` filters and prints the record
-lines (audit decisions, transport stages); ``stats`` summarizes the run:
-header, verdict tallies, metrics namespace, span timing table.
+lines (audit decisions, transport stages, health firings); ``stats``
+summarizes the run: header, verdict tallies, metrics namespace, span
+timing table.
+
+Either command also accepts a **sharded run prefix**: when ``PATH``
+itself does not exist but ``PATH.shard0 .. PATH.shard{K-1}`` do, the
+per-shard streams are merged on the fly by the ``(t, shard, seq)``
+total order (:mod:`repro.health.aggregate`), so a sharded run reads
+exactly like a classic one.
 
 These are wired as subcommands of the ``repro`` console script; the
 module is also usable directly::
@@ -19,8 +26,6 @@ import json
 import re
 import sys
 from typing import Iterable, List, Optional
-
-from .export import iter_jsonl
 
 __all__ = ["add_trace_parser", "add_stats_parser", "cmd_trace", "cmd_stats", "main"]
 
@@ -52,8 +57,9 @@ def add_trace_parser(subparsers) -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kind",
-        choices=("audit", "transport"),
-        help="only records of one kind",
+        metavar="KIND",
+        help="only records of one kind; a prefix selects a family "
+        "(e.g. 'health' matches every 'health.*' detector)",
     )
     p.add_argument(
         "--verdict",
@@ -92,7 +98,7 @@ def _matching_records(lines: Iterable[dict], args) -> Iterable[dict]:
         kind = line.get("kind")
         if kind in _META_KINDS:
             continue
-        if args.kind and kind != args.kind:
+        if args.kind and kind != args.kind and not kind.startswith(args.kind + "."):
             continue
         if args.peer is not None and line.get("pid") != args.peer:
             continue
@@ -110,9 +116,11 @@ def _matching_records(lines: Iterable[dict], args) -> Iterable[dict]:
 
 
 def cmd_trace(args, out=None) -> int:
+    from ..health.aggregate import resolve_run_stream
+
     out = out if out is not None else sys.stdout
     printed = 0
-    for line in _matching_records(iter_jsonl(args.run), args):
+    for line in _matching_records(resolve_run_stream(args.run), args):
         out.write(json.dumps(line, separators=(",", ":"), sort_keys=True) + "\n")
         printed += 1
         if args.limit is not None and printed >= args.limit:
@@ -123,6 +131,8 @@ def cmd_trace(args, out=None) -> int:
 
 
 def _summarize(path: str) -> dict:
+    from ..health.aggregate import resolve_run_stream
+
     header: Optional[dict] = None
     metrics: Optional[dict] = None
     spans: Optional[dict] = None
@@ -132,7 +142,7 @@ def _summarize(path: str) -> dict:
     verdict_counts: dict = {}
     t_min: Optional[float] = None
     t_max: Optional[float] = None
-    for line in iter_jsonl(path):
+    for line in resolve_run_stream(path):
         kind = line.get("kind")
         if kind == "run":
             header = line
@@ -229,6 +239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     add_trace_parser(subparsers)
     add_stats_parser(subparsers)
+    # The health-plane readers live next to the stream readers so the
+    # `repro` pre-dispatch reaches all four through one entry point.
+    from ..health.cli import add_health_parser, add_postmortem_parser
+
+    add_health_parser(subparsers)
+    add_postmortem_parser(subparsers)
     args = parser.parse_args(argv)
     return args.func(args)
 

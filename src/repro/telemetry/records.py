@@ -25,7 +25,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterator, Optional, Tuple
 
-__all__ = ["RecordLog", "AuditLog", "SCHEMAS", "record_as_dict"]
+__all__ = [
+    "RecordLog",
+    "AuditLog",
+    "SCHEMAS",
+    "HEALTH_FIELDS",
+    "record_as_dict",
+    "register_schema",
+]
 
 #: Field order of each record kind's ``values`` tuple.
 SCHEMAS: Dict[str, Tuple[str, ...]] = {
@@ -54,6 +61,37 @@ SCHEMAS: Dict[str, Tuple[str, ...]] = {
         "leg",
     ),
 }
+
+#: Shared ``values`` layout of every ``health.<detector>`` record kind
+#: (see :mod:`repro.health.detectors`); the detector name lives in the
+#: kind itself.
+HEALTH_FIELDS: Tuple[str, ...] = (
+    "severity",
+    "value",
+    "threshold",
+    "window_start",
+    "breaches",
+    "pid",
+)
+
+
+def register_schema(kind: str, fields: Tuple[str, ...]) -> str:
+    """Register (or re-register, identically) a record kind's schema.
+
+    Planes layered on the record log -- the health plane being the first
+    -- declare their kinds here at import time so
+    :func:`record_as_dict` inflates them by name instead of falling
+    back to the anonymous ``values`` list.  Re-registration with a
+    different field tuple is a wiring bug and refused.
+    """
+    existing = SCHEMAS.get(kind)
+    if existing is not None and existing != tuple(fields):
+        raise ValueError(
+            f"record kind {kind!r} already registered with fields {existing}"
+        )
+    SCHEMAS[kind] = tuple(fields)
+    return kind
+
 
 Record = Tuple[int, float, str, tuple]
 
